@@ -1,0 +1,47 @@
+"""Figure 6 (bottom): TEC temperature difference vs operating current.
+
+Sweeps the Eq. (1) model over drive currents: the achievable face
+temperature difference rises, peaks at the rated current (~1.0 A for
+the ATE-31-style part), then falls as Joule heating wins -- the reason
+CAPMAN drives its TEC at the rated point rather than proportionally.
+Also doubles as the ablation for the rated-current design choice.
+"""
+
+from repro.analysis.reporting import format_series, format_table
+from repro.thermal.tec import TECModel
+
+
+def _sweep():
+    model = TECModel.ate31()
+    currents = [0.1 * i for i in range(1, 23)]
+    curve = model.delta_t_curve(currents, cold_c=25.0)
+    rated = model.rated_current(25.0)
+    return model, curve, rated
+
+
+def test_fig06_tec_curve(benchmark):
+    model, curve, rated = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    print()
+    print(format_series("Figure 6 -- max dT vs current (A, K)", curve,
+                        max_points=24))
+    best_i, best_dt = max(curve, key=lambda p: p[1])
+    print(format_table(
+        ["rated current (A)", "empirical peak (A)", "peak dT (K)",
+         "P at rated (W)"],
+        [[rated, best_i, best_dt,
+          model.electrical_power_w(rated, 25.0 + best_dt, 25.0)]],
+    ))
+
+    # Shape: rises then falls, peaking at the rated current ~1.0 A.
+    assert abs(best_i - rated) < 0.15
+    assert 0.9 < rated < 1.1
+    first = curve[0][1]
+    last = curve[-1][1]
+    assert best_dt > first
+    assert best_dt > last
+
+    # Rated-point ablation: driving at half or double the rated current
+    # yields strictly worse cooling.
+    assert model.max_delta_t(rated / 2) < best_dt
+    assert model.max_delta_t(rated * 2) < best_dt

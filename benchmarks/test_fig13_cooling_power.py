@@ -1,0 +1,59 @@
+"""Figure 13: cooling and active power consumption per workload.
+
+Runs CAPMAN over each workload (time-capped, not to depletion) and
+reports the active power trace and the temperature held by the TEC:
+the paper shows CAPMAN maintaining the die around the 45 degC line
+while active power varies up to the ~2.3 W full-tilt regime, with
+lighter workloads (Video) drawing much less.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.capman.controller import CapmanPolicy
+from repro.thermal.hotspot import HOT_SPOT_THRESHOLD_C
+
+from conftest import CONTROL_DT, EVAL_CELL_MAH, run_cycle
+
+#: Cap each observation run at two simulated hours.
+WINDOW_S = 2.0 * 3600.0
+
+WORKLOADS = ("Geekbench", "PCMark", "Video", "eta-80%")
+
+
+def _observe(store, workload_name):
+    trace = store.trace(workload_name)
+    policy = CapmanPolicy(capacity_mah=EVAL_CELL_MAH)
+    return run_cycle(policy, trace, max_duration_s=WINDOW_S)
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_fig13_cooling_power(benchmark, store, workload_name):
+    res = benchmark.pedantic(lambda: _observe(store, workload_name),
+                             rounds=1, iterations=1)
+
+    power = res.metrics.series("power_w")
+    temp = res.metrics.series("cpu_temp_c")
+    print()
+    print(format_table(
+        ["workload", "mean power (mW)", "peak power (mW)", "max T (C)",
+         "TEC on (h)", "time > 45C (h)"],
+        [[workload_name, power.time_weighted_mean() * 1000.0,
+          power.maximum() * 1000.0, res.max_cpu_temp_c,
+          res.tec_on_time_s / 3600.0, res.time_above_threshold_s / 3600.0]],
+        title=f"Figure 13 -- {workload_name}",
+    ))
+    print(format_series("  active power (t, W)",
+                        list(zip(power.times, power.values)), max_points=12))
+    print(format_series("  CPU temperature (t, C)",
+                        list(zip(temp.times, temp.values)), max_points=12))
+
+    # CAPMAN holds the die around the 45 degC line.
+    assert res.max_cpu_temp_c < HOT_SPOT_THRESHOLD_C + 2.5
+
+    if workload_name == "Geekbench":
+        # The heavy load triggers active cooling.
+        assert res.tec_on_time_s > 0.0
+    if workload_name == "Video":
+        # The light workload draws far less active power than full tilt.
+        assert power.time_weighted_mean() * 1000.0 < 1600.0

@@ -1,0 +1,61 @@
+"""Figure 14: big.LITTLE activation ratio vs temperature reduction.
+
+For each workload, runs CAPMAN with and without the TEC (time-capped)
+and reports the LITTLE activation share alongside the peak-temperature
+reduction the TEC achieves over the passive cooling plate.  The paper
+observes the two go together: workloads that drive the LITTLE battery
+hard are the ones where active cooling removes the most heat.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.capman.controller import CapmanPolicy
+from repro.sim.discharge import run_discharge_cycle
+
+from conftest import CONTROL_DT, EVAL_CELL_MAH, run_cycle, store as _store
+
+WINDOW_S = 3.0 * 3600.0
+WORKLOADS = ("Geekbench", "PCMark", "Video", "eta-80%")
+
+
+def _pair(store, workload_name):
+    trace = store.trace(workload_name)
+    with_tec = run_cycle(CapmanPolicy(capacity_mah=EVAL_CELL_MAH), trace,
+                         max_duration_s=WINDOW_S)
+    # The same policy with the TEC disabled: passive cooling plate only.
+    without = run_cycle(
+        CapmanPolicy(capacity_mah=EVAL_CELL_MAH, uses_tec=False,
+                     name="CAPMAN-noTEC"),
+        trace, max_duration_s=WINDOW_S)
+    return with_tec, without
+
+
+def test_fig14_ratio_vs_cooling(benchmark, store):
+    results = benchmark.pedantic(
+        lambda: {w: _pair(store, w) for w in WORKLOADS}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, (with_tec, without) in results.items():
+        reduction = without.max_cpu_temp_c - with_tec.max_cpu_temp_c
+        rows.append([name, with_tec.little_ratio, reduction,
+                     with_tec.max_cpu_temp_c, without.max_cpu_temp_c])
+    print()
+    print(format_table(
+        ["workload", "LITTLE ratio", "temp reduction (K)",
+         "max T with TEC", "max T no TEC"],
+        rows,
+        title="Figure 14 -- big.LITTLE ratio vs temperature reduction",
+    ))
+
+    by_name = {r[0]: r for r in rows}
+    # The TEC never makes things hotter, and it visibly cools the
+    # hot-spot-producing workloads.
+    for name, row in by_name.items():
+        assert row[2] >= -0.5, name
+    assert by_name["Geekbench"][2] > 0.8
+
+    # The paper's correlation: the heavy (hot, LITTLE-leaning) loads
+    # see more reduction than the light Video load.
+    assert by_name["Geekbench"][2] >= by_name["Video"][2]

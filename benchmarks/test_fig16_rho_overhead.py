@@ -1,0 +1,76 @@
+"""Figure 16: decision overhead as a function of the discount factor.
+
+Builds the CAPMAN scheduling MDP from a profiled trace and measures
+real decision latencies across a rho sweep on each phone's compute
+speed.  The paper's curve grows steeply as rho approaches 1 (about
+300 microseconds at the top end on the Nexus) and separates by device
+speed; we assert the exponential-looking growth and the device
+ordering, and report the exponential fit.
+"""
+
+import numpy as np
+
+from repro.analysis.fitting import fit_exponential
+from repro.analysis.reporting import format_series, format_table
+from repro.capman.calibration import RuntimeCalibrator
+from repro.capman.profiler import PowerProfiler
+from repro.device.phone import Phone
+from repro.device.profiles import PHONES
+from repro.workload.generators import EtaStaticWorkload
+from repro.workload.traces import record_trace
+
+RHOS = (0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99)
+
+
+def _build_mdp():
+    trace = record_trace(EtaStaticWorkload(0.5, seed=5), 1200.0)
+    prof = PowerProfiler()
+    phone = Phone()
+    segs = list(trace)
+    for a, b in zip(segs, segs[1:]):
+        prof.observe(a, b, measured_power_w=phone.demand_power_w(b.demand))
+    return prof.build_decision_mdp()
+
+
+def _sweep_all():
+    mdp = _build_mdp()
+    out = {}
+    for name, profile in PHONES.items():
+        cal = RuntimeCalibrator(mdp, compute_speed=profile.compute_speed)
+        out[name] = cal.sweep(RHOS, n_decisions=48)
+    return out
+
+
+def test_fig16_rho_overhead(benchmark):
+    results = benchmark.pedantic(_sweep_all, rounds=1, iterations=1)
+
+    print()
+    for name, points in results.items():
+        series = [(p.rho, p.mean_latency_us) for p in points]
+        print(format_series(f"  {name} overhead (rho, us)", series))
+        fit = fit_exponential([p.rho for p in points],
+                              [p.mean_latency_us for p in points])
+        print(f"    exp fit y = {fit.params[0]:.3g} * exp({fit.params[1]:.3g} rho)"
+              f" + {fit.params[2]:.3g}, R^2 = {fit.r2:.3f}")
+
+    rows = []
+    for name, points in results.items():
+        low = points[0].mean_latency_us
+        high = points[-1].mean_latency_us
+        rows.append([name, low, high, high / low])
+    print(format_table(
+        ["phone", "latency @ rho=0.05 (us)", "@ rho=0.99 (us)", "blow-up"],
+        rows,
+        title="Figure 16 -- overhead vs discount factor",
+    ))
+
+    for name, points in results.items():
+        lat = [p.mean_latency_us for p in points]
+        # Steep growth toward rho -> 1 (the Figure 16 shape).
+        assert lat[-1] > 5 * lat[0], name
+        # Later half grows faster than the first half (convexity).
+        assert lat[-1] - lat[4] > lat[3] - lat[0], name
+
+    # Device ordering: the fastest phone pays the least at high rho.
+    at_top = {name: pts[-1].mean_latency_us for name, pts in results.items()}
+    assert at_top["Lenovo"] < at_top["Nexus"]

@@ -1,0 +1,81 @@
+"""The paper's headline numbers, aggregated from the Figure 12 matrix.
+
+Paper: CAPMAN achieves up to +114% service time versus the original
+phone under skewed loads, an average ~55% gain over the
+state-of-the-practice dual-battery baselines, and stays within ~10% of
+the offline Oracle.  This benchmark aggregates our measured matrix the
+same way and reports paper-vs-measured side by side (EXPERIMENTS.md
+records the comparison).
+"""
+
+from repro.analysis.reporting import format_table, gain_percent
+from repro.capman.baselines import PracticePolicy
+from repro.capman.controller import CapmanPolicy
+from repro.workload.generators import SkewedBurstWorkload
+from repro.workload.traces import record_trace
+
+from conftest import EVAL_CELL_MAH, evaluation_policies, run_cycle
+
+
+def _ensure_matrix(store):
+    """Reuse the Figure 12 results; compute any missing workloads."""
+    from conftest import evaluation_workloads
+
+    for name in evaluation_workloads():
+        if name not in store.fig12:
+            trace = store.trace(name)
+            store.fig12[name] = {
+                pol_name: run_cycle(policy, trace)
+                for pol_name, policy in evaluation_policies().items()
+            }
+    return store.fig12
+
+
+def _skewed_gain():
+    trace = record_trace(SkewedBurstWorkload(seed=1), 1800.0)
+    capman = run_cycle(CapmanPolicy(capacity_mah=EVAL_CELL_MAH), trace)
+    practice = run_cycle(PracticePolicy(capacity_mah=2 * EVAL_CELL_MAH), trace)
+    return gain_percent(capman.service_time_s, practice.service_time_s)
+
+
+def test_headline_numbers(benchmark, store):
+    matrix, skewed = benchmark.pedantic(
+        lambda: (_ensure_matrix(store), _skewed_gain()), rounds=1, iterations=1
+    )
+
+    gains_vs_practice = []
+    gains_vs_dual = []
+    gains_vs_heuristic = []
+    vs_oracle = []
+    for name, results in matrix.items():
+        capman = results["CAPMAN"].service_time_s
+        gains_vs_practice.append(
+            gain_percent(capman, results["Practice"].service_time_s))
+        gains_vs_dual.append(gain_percent(capman, results["Dual"].service_time_s))
+        gains_vs_heuristic.append(
+            gain_percent(capman, results["Heuristic"].service_time_s))
+        vs_oracle.append(
+            gain_percent(results["Oracle"].service_time_s, capman))
+
+    avg = lambda xs: sum(xs) / len(xs)
+    rows = [
+        ["best gain vs Practice (skewed load)", "+114%", f"{skewed:+.1f}%"],
+        ["avg gain vs Practice", "+50..114%", f"{avg(gains_vs_practice):+.1f}%"],
+        ["avg gain vs Dual", "~+55% (best case)", f"{avg(gains_vs_dual):+.1f}%"],
+        ["avg gain vs Heuristic", "~+55% (best case)",
+         f"{avg(gains_vs_heuristic):+.1f}%"],
+        ["Oracle advantage over CAPMAN", "<= 9.6% (Video)",
+         f"{avg(vs_oracle):+.1f}% avg"],
+    ]
+    print()
+    print(format_table(
+        ["metric", "paper", "measured"],
+        rows,
+        title="Headline numbers -- paper vs this reproduction",
+    ))
+
+    # Shape assertions (orderings / factors, not absolute matches).
+    assert skewed > 40.0, "skewed-load gain should be the standout number"
+    assert avg(gains_vs_practice) > 25.0
+    assert avg(gains_vs_dual) >= -2.0
+    assert avg(vs_oracle) < 12.0

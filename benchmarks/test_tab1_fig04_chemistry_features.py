@@ -1,0 +1,65 @@
+"""Table I + Figure 4: chemistry feature table and radar analysis.
+
+Prints the Table I rows with the derived big/LITTLE classification and
+the normalised Figure 4 radar values, then checks the paper's two radar
+observations: (1) no single chemistry covers all five dimensions, and
+(2) a big+LITTLE pair covers the map far better than any single cell,
+with the paper's NCA+LMO pick being (near) orthogonal.
+"""
+
+from repro.analysis.radar import RADAR_AXES, pair_coverage, pareto_front, radar_rows
+from repro.analysis.reporting import format_table
+from repro.battery.chemistry import CHEMISTRIES, LMO, NCA, orthogonality
+
+
+def _build():
+    rows = []
+    for chem in CHEMISTRIES.values():
+        r = chem.ratings
+        rows.append([
+            f"{chem.formula} ({chem.name})",
+            "*" * r.cost_efficiency,
+            "*" * r.lifetime,
+            "*" * r.discharge_rate,
+            "*" * r.energy_density,
+            chem.role.value,
+        ])
+    return rows
+
+
+def test_tab1_fig04(benchmark):
+    rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Battery", "Cost Eff.", "Lifetime", "Discharge", "Energy Dens.", "Result"],
+        rows,
+        title="Table I -- battery model",
+    ))
+
+    radar = radar_rows()
+    print(format_table(
+        ["chemistry"] + list(RADAR_AXES),
+        [[name] + [f"{row[a]:.2f}" for a in RADAR_AXES]
+         for name, row in radar.items()],
+        title="Figure 4 -- normalised radar values",
+    ))
+
+    # Table I Result column exactly as published.
+    expected = {"LCO": "big", "NCA": "big", "LMO": "LITTLE",
+                "NMC": "LITTLE", "LFP": "LITTLE", "LTO": "LITTLE"}
+    for chem in CHEMISTRIES.values():
+        assert chem.role.value == expected[chem.name]
+
+    # Observation 1: no single chemistry dominates the radar.
+    front = pareto_front()
+    print(f"Pareto front: {[c.name for c in front]}")
+    assert len(front) >= 2
+
+    # Observation 2: the big+LITTLE pair covers the radar better than
+    # either cell alone, and the paper's pick is orthogonal.
+    pair = pair_coverage(NCA, LMO)
+    print(f"NCA+LMO pair coverage: {pair:.2f}; "
+          f"orthogonality: {orthogonality(NCA, LMO):.2f}")
+    assert pair > pair_coverage(NCA, NCA)
+    assert pair > pair_coverage(LMO, LMO)
+    assert orthogonality(NCA, LMO) > 0.9

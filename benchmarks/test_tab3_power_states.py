@@ -1,0 +1,70 @@
+"""Tables II + III: component power models and per-state powers.
+
+Prints the Table III state powers for the tested phones and verifies
+the Table II parametric models are anchored to them (CPU slopes per
+frequency, screen brightness slope, WiFi piecewise threshold).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.device.power import PAPER_STATE_POWER_MW
+from repro.device.profiles import PHONES
+from repro.device.states import CpuState, ScreenState, TecState, WifiState
+
+
+def _rows():
+    rows = []
+    for phone in PHONES.values():
+        t = phone.power_table
+        rows.append([
+            phone.name,
+            t.cpu_mw[CpuState.C0],
+            t.cpu_mw[CpuState.C1],
+            t.cpu_mw[CpuState.C2],
+            t.cpu_mw[CpuState.SLEEP],
+            t.screen_mw[ScreenState.OFF],
+            t.screen_mw[ScreenState.ON],
+            t.wifi_mw[WifiState.IDLE],
+            t.wifi_mw[WifiState.ACCESS],
+            t.wifi_mw[WifiState.SEND],
+            t.tec_mw[TecState.ON],
+        ])
+    return rows
+
+
+def test_tab3_power_states(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["phone", "C0", "C1", "C2", "sleep", "scr off", "scr on",
+         "wifi idle", "wifi acc", "wifi send", "TEC on"],
+        rows,
+        title="Table III -- average power (mW) of all hardware states",
+    ))
+
+    nexus = PHONES["Nexus"]
+    table = nexus.power_table
+
+    # Table III numbers reproduced exactly on the reference phone.
+    assert table.cpu_mw[CpuState.C0] == PAPER_STATE_POWER_MW["cpu"]["C0"]
+    assert table.wifi_mw[WifiState.SEND] == PAPER_STATE_POWER_MW["wifi"]["send"]
+    assert table.tec_mw[TecState.ON] == pytest.approx(29.17)
+
+    # Table II anchoring: CPU model at 100% utilisation reproduces the
+    # per-C-state powers.
+    for freq, cstate in ((2, CpuState.C0), (1, CpuState.C1), (0, CpuState.C2)):
+        assert nexus.cpu_model.power_mw(100.0, freq) == pytest.approx(
+            table.cpu_mw[cstate], rel=0.01
+        )
+
+    # WiFi piecewise threshold: low regime below t, high above.
+    wifi = nexus.wifi_model
+    assert wifi.power_mw(wifi.threshold_kbps * 2) > 3 * wifi.power_mw(
+        wifi.threshold_kbps * 0.5
+    )
+
+    # Screen slope anchored so full brightness lands near the table.
+    assert nexus.screen_model.power_mw(255) == pytest.approx(
+        table.screen_mw[ScreenState.ON], rel=0.05
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Beyond the paper: pack wear and the fully mixed N-battery pack.
+
+Two extensions DESIGN.md documents:
+
+1. **Aging** — project how long each Table I chemistry lasts (days to
+   end of life) under a phone-like daily pattern, and how much a hot
+   device accelerates the wear.
+2. **Mixed pack** — run the greedy marginal-cost router over a
+   three-chemistry pack (LCO + NCA + LMO) on an alternating
+   gentle/burst load and show how the router assigns work by rate
+   capability.
+
+Run:  python examples/lifetime_projection.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.battery import (
+    AgingModel,
+    CHEMISTRIES,
+    CellHealth,
+    GreedyCellRouter,
+    LCO,
+    LMO,
+    MixedPack,
+    NCA,
+    project_lifetime,
+)
+
+#: A phone-like day: ~0.9 equivalent full cycles.
+DAILY_AMP_S = 0.9 * 2500.0 / 1000.0 * 3600.0
+
+
+def lifetime_table() -> None:
+    rows = []
+    for chem in CHEMISTRIES.values():
+        cool = project_lifetime(chem, 2500.0, DAILY_AMP_S, mean_temp_c=25.0)
+        hot = project_lifetime(chem, 2500.0, DAILY_AMP_S, mean_temp_c=40.0)
+        rows.append([chem.name, chem.cycle_life, cool / 365.0, hot / 365.0])
+    rows.sort(key=lambda r: -r[2])
+    print(format_table(
+        ["chemistry", "rated cycles", "years @ 25C", "years @ 40C"],
+        rows,
+        title="Projected pack lifetime at ~0.9 cycles/day",
+    ))
+
+
+def wear_demo() -> None:
+    """Cycle a cell hard and watch its health fade."""
+    model = AgingModel()
+    health = CellHealth(NCA, 2500.0)
+    for day in range(400):
+        model.record_cycle(health, DAILY_AMP_S, mean_temp_c=32.0)
+    print(f"\nNCA after 400 warm days: health {health.health:.2f}, "
+          f"capacity {health.capacity_mah:.0f} mAh "
+          f"({'EOL' if health.end_of_life else 'serviceable'})")
+
+
+def mixed_pack_demo() -> None:
+    pack = MixedPack.from_chemistries((LCO, NCA, LMO), capacity_mah=2500.0)
+    router = GreedyCellRouter(pack)
+
+    print("\nPer-cell marginal loss of the greedy N-way scheduler:")
+    for power in (0.3, 1.2, 2.8, 5.0):
+        costs = ", ".join(
+            f"{cell.chemistry.name} {router.cost_w(cell, power) * 1000:.0f} mW"
+            for cell in pack.cells
+        )
+        idx = router.route(power)
+        print(f"  {power:4.1f} W -> {pack.cells[idx].chemistry.name}   ({costs})")
+    print("  Note the myopic router's LITTLE bias: without CAPMAN's")
+    print("  reserve-price calibration it spends the burst specialist")
+    print("  on gentle load too -- exactly why the paper's MDP matters.")
+
+    # Alternate gentle stretches with bursts for a bounded window.
+    steps = 0
+    delivered = 0.0
+    while not pack.depleted and steps < 6_000:
+        power = 3.0 if steps % 12 == 0 else 0.6
+        delivered += router.step(power, 5.0).energy_j
+        steps += 1
+    print(f"\nMixed pack delivered {delivered / 1000:.1f} kJ over "
+          f"{steps * 5 / 3600:.1f} h with {pack.switch_count} reroutes")
+    print(format_table(
+        ["cell", "final SoC"],
+        [[name, soc] for name, soc in router.cell_shares().items()],
+    ))
+
+
+def main() -> None:
+    lifetime_table()
+    wear_demo()
+    mixed_pack_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox's setuptools lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) works through this shim.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro -- a full reproduction of CAPMAN (ICDCS 2020).
+
+CAPMAN: Cooling and Active Power Management in big.LITTLE Battery
+Supported Devices (Zhou, Xu, Zheng, Wang).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.core`     -- the MDP formulation, the bipartite MDP
+  graph, the structural-similarity recursion (Algorithm 1), exact
+  solvers, the O(1/(1-rho)) competitiveness bound, and the online
+  scheduler.
+* :mod:`repro.battery`  -- chemistry catalogue (Table I), KiBaM cell
+  model, V-edge analysis, switch facility, big.LITTLE pack.
+* :mod:`repro.thermal`  -- RC thermal network, TEC model (Eq. 1),
+  45 degC hot-spot thermostat.
+* :mod:`repro.device`   -- power states (Fig. 7), power models
+  (Tables II/III), phone profiles, system-call vocabulary, the phone.
+* :mod:`repro.workload` -- Geekbench / PCMark / Video / eta-Static /
+  screen-toggle / skewed-burst generators and trace record-replay.
+* :mod:`repro.sim`      -- control-step engine and the discharge-cycle
+  experiment harness.
+* :mod:`repro.capman`   -- the CAPMAN policy plus the Oracle /
+  Practice / Dual / Heuristic baselines, profiler, actuator,
+  runtime calibration.
+* :mod:`repro.analysis` -- fitting, radar normalisation, reporting.
+
+Quickstart::
+
+    from repro.capman import CapmanPolicy, PracticePolicy
+    from repro.sim import run_discharge_cycle
+    from repro.workload import VideoWorkload, record_trace
+
+    trace = record_trace(VideoWorkload(seed=1), duration_s=1200)
+    capman = run_discharge_cycle(CapmanPolicy(), trace)
+    stock = run_discharge_cycle(PracticePolicy(), trace)
+    print(capman.service_time_s / stock.service_time_s)
+"""
+
+from . import analysis, battery, capman, core, device, sim, thermal, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "battery",
+    "capman",
+    "core",
+    "device",
+    "sim",
+    "thermal",
+    "workload",
+    "__version__",
+]

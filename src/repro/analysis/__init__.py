@@ -1,0 +1,28 @@
+"""Analysis helpers: fitting, radar normalisation, reporting."""
+
+from .fitting import FitResult, fit_exponential, fit_polynomial, r_squared
+from .radar import RADAR_AXES, dominates, pair_coverage, pareto_front, radar_rows
+from .reporting import (
+    ComparisonRow,
+    comparison_table,
+    format_series,
+    format_table,
+    gain_percent,
+)
+
+__all__ = [
+    "FitResult",
+    "fit_exponential",
+    "fit_polynomial",
+    "r_squared",
+    "RADAR_AXES",
+    "dominates",
+    "pair_coverage",
+    "pareto_front",
+    "radar_rows",
+    "ComparisonRow",
+    "comparison_table",
+    "format_series",
+    "format_table",
+    "gain_percent",
+]

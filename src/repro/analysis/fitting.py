@@ -1,0 +1,94 @@
+"""Curve fitting helpers used by the figure reproductions.
+
+The paper overlays fitted curves on its scatter data (e.g. the V-edge
+voltage fit in Figure 3 and the discharge curves in Figure 12).  We
+provide least-squares polynomial and exponential fits plus simple
+goodness-of-fit reporting, built on numpy only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_polynomial", "fit_exponential", "r_squared"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted model plus its quality."""
+
+    #: Callable evaluating the fitted curve.
+    predict: Callable[[np.ndarray], np.ndarray]
+    #: Model parameters (meaning depends on the fit family).
+    params: Tuple[float, ...]
+    #: Coefficient of determination on the training data.
+    r2: float
+
+    def __call__(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the fit at new points."""
+        return self.predict(np.asarray(x, dtype=float))
+
+
+def r_squared(y: Sequence[float], y_hat: Sequence[float]) -> float:
+    """Coefficient of determination of predictions against data."""
+    y = np.asarray(y, dtype=float)
+    y_hat = np.asarray(y_hat, dtype=float)
+    if y.shape != y_hat.shape:
+        raise ValueError("shapes must match")
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_polynomial(x: Sequence[float], y: Sequence[float], degree: int = 2) -> FitResult:
+    """Least-squares polynomial fit of a given degree."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be non-empty and equally sized")
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    coeffs = np.polyfit(x, y, degree)
+
+    def predict(xs: np.ndarray) -> np.ndarray:
+        return np.polyval(coeffs, xs)
+
+    return FitResult(predict, tuple(float(c) for c in coeffs), r_squared(y, predict(x)))
+
+
+def fit_exponential(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * exp(b x) + c`` by log-linearisation.
+
+    Several candidate offsets ``c`` are tried and the one with the best
+    coefficient of determination in the *original* space wins --
+    adequate for the V-edge recovery tail and the Figure 16 overhead
+    trend.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 3:
+        raise ValueError("need at least three samples")
+    y_min = float(y.min())
+    candidates = [y_min - 1e-9, 0.5 * y_min - 1e-9]
+    if y_min > 0:
+        candidates.append(0.0)
+
+    best: FitResult = None  # type: ignore[assignment]
+    for c in candidates:
+        shifted = np.maximum(y - c, 1e-12)
+        b, log_a = np.polyfit(x, np.log(shifted), 1)
+        a = float(np.exp(log_a))
+
+        def predict(xs: np.ndarray, a=a, b=b, c=c) -> np.ndarray:
+            return a * np.exp(b * xs) + c
+
+        fit = FitResult(predict, (a, float(b), float(c)),
+                        r_squared(y, predict(x)))
+        if best is None or fit.r2 > best.r2:
+            best = fit
+    return best

@@ -1,0 +1,62 @@
+"""The Figure 4 radar-map analysis of battery chemistries.
+
+Normalises the five feature dimensions across the catalogue and
+computes the paper's two observations quantitatively: no single
+chemistry dominates every axis, but a big+LITTLE pair covers the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..battery.chemistry import CHEMISTRIES, Chemistry
+
+__all__ = ["RADAR_AXES", "radar_rows", "dominates", "pareto_front", "pair_coverage"]
+
+#: The five radar axes in display order.
+RADAR_AXES: Tuple[str, ...] = (
+    "cost_efficiency",
+    "lifetime",
+    "discharge_rate",
+    "energy_density",
+    "safety",
+)
+
+
+def radar_rows(
+    chemistries: Iterable[Chemistry] = tuple(CHEMISTRIES.values()),
+) -> Dict[str, Dict[str, float]]:
+    """Normalised [0, 1] feature rows keyed by chemistry name."""
+    return {c.name: c.ratings.normalized() for c in chemistries}
+
+
+def dominates(a: Chemistry, b: Chemistry) -> bool:
+    """True when ``a`` is at least as good on every axis and better on one."""
+    ra, rb = a.ratings.as_dict(), b.ratings.as_dict()
+    at_least = all(ra[axis] >= rb[axis] for axis in RADAR_AXES)
+    strictly = any(ra[axis] > rb[axis] for axis in RADAR_AXES)
+    return at_least and strictly
+
+
+def pareto_front(
+    chemistries: Sequence[Chemistry] = tuple(CHEMISTRIES.values()),
+) -> List[Chemistry]:
+    """Chemistries not dominated by any other (the paper's observation
+    one: nobody provides optimal coverage of all five dimensions)."""
+    front: List[Chemistry] = []
+    for c in chemistries:
+        if not any(dominates(other, c) for other in chemistries if other is not c):
+            front.append(c)
+    return front
+
+
+def pair_coverage(a: Chemistry, b: Chemistry) -> float:
+    """Mean over axes of the pair's best normalised rating.
+
+    1.0 means the pair jointly tops every axis; used to show that a
+    big+LITTLE combination covers the radar far better than any single
+    chemistry.
+    """
+    na, nb = a.ratings.normalized(), b.ratings.normalized()
+    return sum(max(na[axis], nb[axis]) for axis in RADAR_AXES) / len(RADAR_AXES)

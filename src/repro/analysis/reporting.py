@@ -1,0 +1,106 @@
+"""Text reporting for the benchmark harness.
+
+Formats the tables and series the benchmarks print, in the same
+rows/columns the paper reports, plus the service-time comparison
+arithmetic the headline numbers are quoted from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim.discharge import DischargeResult
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "gain_percent",
+    "ComparisonRow",
+    "comparison_table",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[float, float]], max_points: int = 24
+) -> str:
+    """Render an (x, y) series as one compact line per point group."""
+    if len(points) > max_points:
+        stride = max(1, len(points) // max_points)
+        points = list(points[::stride])
+    body = ", ".join(f"({x:.4g}, {y:.4g})" for x, y in points)
+    return f"{name}: {body}"
+
+
+def gain_percent(value: float, baseline: float) -> float:
+    """Percentage improvement of ``value`` over ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (value / baseline - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One policy's outcome relative to a reference policy."""
+
+    policy: str
+    service_time_s: float
+    gain_over_reference_pct: float
+    energy_j: float
+    switch_count: int
+    little_ratio: float
+    max_cpu_temp_c: float
+
+
+def comparison_table(
+    results: Mapping[str, DischargeResult],
+    reference: str = "Practice",
+) -> List[ComparisonRow]:
+    """Build the Figure 12-style comparison rows against a reference."""
+    if reference not in results:
+        raise KeyError(f"reference policy {reference!r} missing from results")
+    base = results[reference].service_time_s
+    rows: List[ComparisonRow] = []
+    for name, res in results.items():
+        rows.append(
+            ComparisonRow(
+                policy=name,
+                service_time_s=res.service_time_s,
+                gain_over_reference_pct=gain_percent(res.service_time_s, base),
+                energy_j=res.energy_delivered_j,
+                switch_count=res.switch_count,
+                little_ratio=res.little_ratio,
+                max_cpu_temp_c=res.max_cpu_temp_c,
+            )
+        )
+    rows.sort(key=lambda r: -r.service_time_s)
+    return rows

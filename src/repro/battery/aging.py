@@ -1,0 +1,128 @@
+"""Extension: cycle-life aging from the Table I lifetime ratings.
+
+The paper's Table I rates each chemistry's lifetime but the evaluation
+stays within single discharge cycles.  This extension projects what a
+scheduling policy does to pack health over months: capacity fades
+linearly in equivalent full cycles (EOL at 80% per industry
+convention), accelerated by heat (a doubling per 10 K over 25 degC,
+Arrhenius-style) and by sustained over-rate draw.  It lets a user ask
+the question the paper leaves open -- does leaning on the LITTLE
+battery wear the pack out faster?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from .cell import Cell
+from .chemistry import Chemistry
+
+__all__ = ["AgingModel", "CellHealth", "project_lifetime"]
+
+#: End-of-life capacity fraction (industry convention).
+EOL_FRACTION = 0.8
+
+
+@dataclass
+class CellHealth:
+    """Aging state of one cell across many discharge cycles."""
+
+    chemistry: Chemistry
+    rated_capacity_mah: float
+    equivalent_cycles: float = 0.0
+
+    @property
+    def fade_fraction(self) -> float:
+        """Capacity lost so far, as a fraction of rated."""
+        per_cycle = (1.0 - EOL_FRACTION) / self.chemistry.cycle_life
+        return min(1.0, per_cycle * self.equivalent_cycles)
+
+    @property
+    def capacity_mah(self) -> float:
+        """Usable capacity after fade."""
+        return self.rated_capacity_mah * (1.0 - self.fade_fraction)
+
+    @property
+    def health(self) -> float:
+        """State of health in [0, 1] relative to the EOL window."""
+        return max(0.0, 1.0 - self.fade_fraction / (1.0 - EOL_FRACTION))
+
+    @property
+    def end_of_life(self) -> bool:
+        """True once capacity dropped below the EOL fraction."""
+        return self.capacity_mah < EOL_FRACTION * self.rated_capacity_mah
+
+    def fresh_cell(self) -> Cell:
+        """A new cell at the current (aged) capacity."""
+        return Cell(self.chemistry, self.capacity_mah)
+
+
+@dataclass
+class AgingModel:
+    """Stress-weighted cycle counting.
+
+    Parameters
+    ----------
+    temp_doubling_k:
+        Every this many Kelvin above the reference temperature doubles
+        the aging rate.
+    rate_stress_weight:
+        Extra equivalent-cycle weight per unit of (I / I_sustainable)
+        above 1 -- sustained over-rate draw wears power cells.
+    reference_temp_c:
+        Temperature at which stress factors are 1.
+    """
+
+    temp_doubling_k: float = 10.0
+    rate_stress_weight: float = 0.5
+    reference_temp_c: float = 25.0
+
+    def stress_factor(self, chemistry: Chemistry, mean_temp_c: float,
+                      mean_current_a: float, capacity_mah: float) -> float:
+        """Multiplier on equivalent cycles for one discharge cycle."""
+        thermal = 2.0 ** (
+            max(0.0, mean_temp_c - self.reference_temp_c) / self.temp_doubling_k
+        )
+        i_sus = chemistry.kibam_k * capacity_mah / 1000.0 * 3600.0
+        over_rate = max(0.0, mean_current_a / max(i_sus, 1e-9) - 1.0)
+        return thermal * (1.0 + self.rate_stress_weight * over_rate)
+
+    def record_cycle(
+        self,
+        health: CellHealth,
+        throughput_amp_s: float,
+        mean_temp_c: float = 25.0,
+        mean_current_a: float = 0.0,
+    ) -> None:
+        """Charge one cycle's throughput against a cell's health."""
+        if throughput_amp_s < 0:
+            raise ValueError("throughput must be non-negative")
+        capacity_as = health.rated_capacity_mah / 1000.0 * 3600.0
+        base_cycles = throughput_amp_s / capacity_as
+        factor = self.stress_factor(
+            health.chemistry, mean_temp_c, mean_current_a,
+            health.rated_capacity_mah,
+        )
+        health.equivalent_cycles += base_cycles * factor
+
+
+def project_lifetime(
+    chemistry: Chemistry,
+    capacity_mah: float,
+    daily_throughput_amp_s: float,
+    mean_temp_c: float = 25.0,
+    mean_current_a: float = 0.0,
+    model: AgingModel = AgingModel(),
+) -> float:
+    """Days until end of life under a constant daily usage pattern."""
+    if daily_throughput_amp_s <= 0:
+        raise ValueError("daily throughput must be positive")
+    health = CellHealth(chemistry, capacity_mah)
+    capacity_as = capacity_mah / 1000.0 * 3600.0
+    daily_cycles = daily_throughput_amp_s / capacity_as
+    factor = model.stress_factor(chemistry, mean_temp_c, mean_current_a,
+                                 capacity_mah)
+    cycles_to_eol = chemistry.cycle_life
+    return cycles_to_eol / (daily_cycles * factor)

@@ -1,0 +1,335 @@
+"""Electrochemical cell model: KiBaM wells + OCV curve + RC transient.
+
+This is the simulated stand-in for the physical 2500 mAh cells of the
+paper's testbed (see DESIGN.md, substitution table).  Three effects the
+paper's argument rests on are modelled explicitly:
+
+* **Rate-capacity effect** -- drawing hard strands charge in the bound
+  well of the Kinetic Battery Model (KiBaM), so a high-energy-density
+  ("big") cell delivers less of its charge under bursty loads.
+* **Recovery effect** -- during idle periods the bound well refills the
+  available well, so service time depends on demand *shape*, not only
+  on total energy (paper Figure 2).
+* **V-edge** -- a first-order RC branch makes the terminal voltage drop
+  sharply on a load step and then settle at a lower plateau (paper
+  Figure 3); the areas between the curves are the power-saving
+  opportunity CAPMAN chases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .chemistry import Chemistry
+
+__all__ = ["Cell", "DrawResult", "CellEmptyError"]
+
+#: Seconds per hour, used for mAh <-> Coulomb-ish conversions.
+_HOUR = 3600.0
+
+
+class CellEmptyError(RuntimeError):
+    """Raised when energy is requested from a depleted cell."""
+
+
+@dataclass
+class DrawResult:
+    """Outcome of drawing power from a cell for one timestep."""
+
+    #: Energy actually delivered to the load over the step (J).
+    energy_j: float
+    #: Average current over the step (A).
+    current_a: float
+    #: Terminal voltage at the end of the step (V).
+    voltage_v: float
+    #: Heat dissipated inside the cell over the step (J).
+    heat_j: float
+    #: True if the cell could not meet the full demand.
+    shortfall: bool
+
+
+@dataclass
+class Cell:
+    """A single battery cell of a given chemistry.
+
+    Parameters
+    ----------
+    chemistry:
+        The :class:`~repro.battery.chemistry.Chemistry` describing the
+        cell's ratings-derived physics.
+    capacity_mah:
+        Rated capacity at gentle discharge.
+    soc:
+        Initial state of charge in [0, 1].
+    temperature_c:
+        Cell temperature; raises internal resistance when hot.
+    """
+
+    chemistry: Chemistry
+    capacity_mah: float = 2500.0
+    soc: float = 1.0
+    temperature_c: float = 25.0
+
+    # Internal state (charge bookkeeping in ampere-seconds, A*s).
+    _available: float = field(init=False, repr=False)
+    _bound: float = field(init=False, repr=False)
+    #: Voltage across the RC transient branch (V).
+    _v_transient: float = field(init=False, default=0.0, repr=False)
+    #: Total charge delivered over the cell's life (A*s), for wear.
+    _throughput: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= self.soc <= 1.0:
+            raise ValueError("soc must lie in [0, 1]")
+        total = self.capacity_amp_s * self.soc
+        c = self.chemistry.kibam_c
+        self._available = total * c
+        self._bound = total * (1.0 - c)
+        self._v_transient = 0.0
+        self._throughput = 0.0
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity_amp_s(self) -> float:
+        """Rated charge in ampere-seconds."""
+        return self.capacity_mah / 1000.0 * _HOUR
+
+    @property
+    def max_current(self) -> float:
+        """Continuous current limit from the chemistry's C-rate (A)."""
+        return self.chemistry.max_c_rate * self.capacity_mah / 1000.0
+
+    @property
+    def charge_amp_s(self) -> float:
+        """Remaining charge, both wells (A*s)."""
+        return self._available + self._bound
+
+    @property
+    def available_amp_s(self) -> float:
+        """Charge immediately deliverable from the available well (A*s)."""
+        return self._available
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of rated charge in [0, 1]."""
+        return max(0.0, min(1.0, self.charge_amp_s / self.capacity_amp_s))
+
+    @property
+    def depleted(self) -> bool:
+        """True once the available well is exhausted.
+
+        Charge may remain stranded in the bound well -- that is the
+        rate-capacity effect; given rest it migrates back and the cell
+        revives (recovery effect).
+        """
+        return self._available <= 1e-9
+
+    # ------------------------------------------------------------------
+    # Electrical behaviour
+    # ------------------------------------------------------------------
+    def open_circuit_voltage(self) -> float:
+        """OCV as a function of state of charge.
+
+        A generic Li-ion shape: a mild linear slope across the plateau,
+        an exponential knee near empty, and a rise near full.  Scaled
+        into the chemistry's [cutoff, full] voltage window.
+        """
+        s = self.state_of_charge
+        chem = self.chemistry
+        # Normalised curve in [0, 1]: knee below ~10% SoC, gentle slope after.
+        shape = 0.18 + 0.72 * s + 0.10 * s ** 4 - 0.18 * math.exp(-24.0 * s)
+        shape = max(0.0, min(1.0, shape))
+        return chem.cutoff_voltage + (chem.full_voltage - chem.cutoff_voltage) * shape
+
+    def internal_resistance(self) -> float:
+        """Ohmic resistance, temperature- and SoC-corrected (ohm)."""
+        chem = self.chemistry
+        r = chem.internal_resistance
+        r *= 1.0 + chem.resistance_temp_coeff * (self.temperature_c - 25.0)
+        # Resistance climbs as the cell empties.
+        s = self.state_of_charge
+        r *= 1.0 + 0.8 * (1.0 - s) ** 2
+        return max(r, 1e-4)
+
+    def terminal_voltage(self, current_a: float = 0.0) -> float:
+        """Terminal voltage under a given instantaneous current (V)."""
+        return (
+            self.open_circuit_voltage()
+            - current_a * self.internal_resistance()
+            - self._v_transient
+        )
+
+    def current_for_power(self, power_w: float) -> float:
+        """Solve ``I * V(I) = P`` for the discharge current (A).
+
+        ``V(I) = OCV - I*R - v_transient`` makes this a quadratic in I;
+        the smaller root is the stable operating point.  If the demand
+        exceeds the cell's maximum power point the current is clamped at
+        the maximum-power current ``(OCV - vt) / (2R)``.
+        """
+        if power_w <= 0:
+            return 0.0
+        veff = self.open_circuit_voltage() - self._v_transient
+        r = self.internal_resistance()
+        disc = veff * veff - 4.0 * r * power_w
+        if disc < 0:
+            return veff / (2.0 * r)  # maximum deliverable power point
+        return (veff - math.sqrt(disc)) / (2.0 * r)
+
+    def max_power_w(self) -> float:
+        """Largest power the cell can source right now (W)."""
+        veff = self.open_circuit_voltage() - self._v_transient
+        r = self.internal_resistance()
+        i_mpp = veff / (2.0 * r)
+        i = min(i_mpp, self.max_current)
+        return i * (veff - i * r)
+
+    # ------------------------------------------------------------------
+    # Time evolution
+    # ------------------------------------------------------------------
+    def rest(self, dt: float) -> None:
+        """Let the cell idle for ``dt`` seconds (recovery effect)."""
+        self._step_wells(0.0, dt)
+        self._step_transient(0.0, dt)
+
+    def draw_power(self, power_w: float, dt: float) -> DrawResult:
+        """Draw ``power_w`` watts for ``dt`` seconds.
+
+        Returns the energy actually delivered; if the available well
+        runs dry mid-step the delivery is pro-rated and ``shortfall``
+        is set.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        if power_w == 0.0:
+            self.rest(dt)
+            return DrawResult(0.0, 0.0, self.terminal_voltage(), 0.0, False)
+        if self.depleted:
+            self.rest(dt)
+            return DrawResult(0.0, 0.0, self.terminal_voltage(), 0.0, True)
+
+        veff_pre = self.open_circuit_voltage() - self._v_transient
+        r_pre = self.internal_resistance()
+        current = self.current_for_power(power_w)
+        shortfall = False
+        if current > self.max_current:
+            current = self.max_current
+            shortfall = True
+        # Power actually reaching the load at this current; equals the
+        # demand unless the current was clamped.
+        delivered_w = min(power_w, max(0.0, current * (veff_pre - current * r_pre)))
+        if delivered_w < power_w * (1.0 - 1e-9):
+            shortfall = True
+
+        # Side-reaction losses: the wells lose charge faster than the
+        # load receives it (chemistry-dependent coulombic efficiency),
+        # and overpotential losses grow quadratically once the draw
+        # outruns what the bound well can replenish -- the D1 waste of
+        # the paper's V-edge analysis.
+        eta = self.chemistry.coulombic_efficiency * (1.0 - self._rate_loss(current))
+        drawn = current / eta
+
+        served_dt = dt
+        if drawn * dt > self._available:
+            served_dt = self._available / drawn
+            shortfall = True
+
+        self._step_wells(drawn, served_dt)
+        if served_dt < dt:
+            self._step_wells(0.0, dt - served_dt)
+        self._step_transient(current, served_dt)
+        if served_dt < dt:
+            self._step_transient(0.0, dt - served_dt)
+        self._throughput += current * served_dt
+
+        voltage = self.terminal_voltage(current if served_dt == dt else 0.0)
+        if voltage < self.chemistry.cutoff_voltage:
+            shortfall = True
+        ohmic = current * current * self.internal_resistance() * served_dt
+        # Side-reaction charge ends up as heat at roughly the rail voltage.
+        parasitic = (drawn - current) * max(voltage, 0.0) * served_dt
+        heat = ohmic + parasitic
+        energy = delivered_w * served_dt
+        return DrawResult(energy, current, voltage, heat, shortfall)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def sustainable_current(self) -> float:
+        """Current the bound well can replenish right now (A).
+
+        ``k * y2 / (1 - c)``: declines as the cell empties, so late in
+        a cycle even moderate draws become strained.
+        """
+        c = self.chemistry.kibam_c
+        return self.chemistry.kibam_k * self._bound / (1.0 - c)
+
+    def _rate_loss(self, current_a: float) -> float:
+        """Extra loss fraction from drawing beyond the sustainable rate."""
+        from .chemistry import RATE_LOSS_CAP
+
+        if current_a <= 0.0:
+            return 0.0
+        i_sus = self.sustainable_current()
+        if i_sus <= 1e-12:
+            return RATE_LOSS_CAP
+        extra = self.chemistry.rate_loss_coeff * (current_a / i_sus) ** 2
+        return min(RATE_LOSS_CAP, extra)
+
+    def _step_wells(self, current_a: float, dt: float) -> None:
+        """Integrate the KiBaM two-well ODEs over ``dt``.
+
+        dy1/dt = -I + k (h2 - h1),   dy2/dt = -k (h2 - h1)
+        with well heads h1 = y1/c, h2 = y2/(1-c).  Explicit Euler with
+        substeps bounded by the diffusion time constant; charge is
+        conserved exactly (d(y1+y2)/dt = -I).
+        """
+        if dt <= 0:
+            return
+        c = self.chemistry.kibam_c
+        k = self.chemistry.kibam_k
+        # Stability: substep well below 1/k_eff.
+        k_eff = k * (1.0 / c + 1.0 / (1.0 - c))
+        max_sub = 0.2 / k_eff if k_eff > 0 else dt
+        steps = max(1, int(math.ceil(dt / max(max_sub, 1e-6))))
+        steps = min(steps, 10_000)
+        h = dt / steps
+        y1, y2 = self._available, self._bound
+        for _ in range(steps):
+            flow = k * (y2 / (1.0 - c) - y1 / c)
+            y1 += h * (-current_a + flow)
+            y2 += h * (-flow)
+            if y1 < 0.0:
+                # The well ran dry inside a substep; charge conservation
+                # is preserved by crediting the overshoot back to demand.
+                y1 = 0.0
+        self._available = y1
+        self._bound = max(0.0, y2)
+
+    def _step_transient(self, current_a: float, dt: float) -> None:
+        """Relax the RC transient branch toward ``I * R1``."""
+        r1, tau = self.chemistry.effective_transient()
+        target = current_a * r1
+        if tau <= 0:
+            self._v_transient = target
+            return
+        alpha = math.exp(-dt / tau)
+        self._v_transient = target + (self._v_transient - target) * alpha
+
+    def clone(self) -> "Cell":
+        """Deep copy of the cell, preserving internal state."""
+        other = Cell(self.chemistry, self.capacity_mah, 1.0, self.temperature_c)
+        other._available = self._available
+        other._bound = self._bound
+        other._v_transient = self._v_transient
+        other._throughput = self._throughput
+        other.soc = self.soc
+        return other

@@ -1,0 +1,144 @@
+"""Charging substrate: a CC-CV charger for the pack models.
+
+The paper scopes its optimisation to "one discharge cycle, i.e.,
+duration between two device charges"; closing the loop needs a
+charger.  This module implements the standard constant-current /
+constant-voltage profile: charge at a C-rate-limited current until the
+terminal voltage reaches the chemistry's full voltage, then hold the
+voltage and let the current taper; charging ends when the taper falls
+below the cutoff fraction.  Charge acceptance is limited by the same
+KiBaM diffusion that limits discharge, so a big cell also *charges*
+slower -- which matters for the multi-day simulations in
+:mod:`repro.sim.daily`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .cell import Cell
+from .pack import BigLittlePack, SingleBatteryPack
+
+__all__ = ["ChargeResult", "CCCVCharger"]
+
+
+@dataclass(frozen=True)
+class ChargeResult:
+    """Outcome of one charging step."""
+
+    #: Charge accepted by the cell this step (A*s).
+    accepted_amp_s: float
+    #: Charger output current (A).
+    current_a: float
+    #: True once the cell is considered full.
+    complete: bool
+
+
+@dataclass
+class CCCVCharger:
+    """Constant-current / constant-voltage charger.
+
+    Parameters
+    ----------
+    charge_c_rate:
+        CC-phase current in multiples of cell capacity (0.5C default,
+        a typical phone charger).
+    cutoff_c_rate:
+        Charging stops when the CV-phase taper drops below this rate.
+    efficiency:
+        Fraction of charger output stored (the rest is heat).
+    """
+
+    charge_c_rate: float = 0.5
+    cutoff_c_rate: float = 0.05
+    efficiency: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.charge_c_rate <= 0 or self.cutoff_c_rate <= 0:
+            raise ValueError("charge rates must be positive")
+        if self.cutoff_c_rate >= self.charge_c_rate:
+            raise ValueError("cutoff must be below the CC rate")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must lie in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def step_cell(self, cell: Cell, dt: float) -> ChargeResult:
+        """Advance one charging step on a single cell."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        soc = cell.state_of_charge
+        if soc >= 1.0 - 1e-9:
+            cell.rest(dt)
+            return ChargeResult(0.0, 0.0, True)
+
+        cc_current = self.charge_c_rate * cell.capacity_mah / 1000.0
+        # CV taper: as the cell approaches full the acceptable current
+        # falls roughly exponentially; model with a knee at ~85% SoC.
+        if soc < 0.85:
+            current = cc_current
+        else:
+            taper = math.exp(-(soc - 0.85) / 0.05)
+            current = max(cc_current * taper,
+                          self.cutoff_c_rate * cell.capacity_mah / 1000.0)
+
+        headroom = cell.capacity_amp_s - cell.charge_amp_s
+        accepted = min(current * dt * self.efficiency, headroom)
+        self._accept(cell, accepted, dt)
+        return ChargeResult(accepted, current, cell.state_of_charge >= 0.999)
+
+    def charge_cell(self, cell: Cell, max_hours: float = 8.0,
+                    dt: float = 30.0) -> float:
+        """Charge a cell to full; returns the wall time needed (s)."""
+        t = 0.0
+        while t < max_hours * 3600.0:
+            result = self.step_cell(cell, dt)
+            t += dt
+            if result.complete:
+                break
+        return t
+
+    def charge_pack(self, pack, max_hours: float = 10.0, dt: float = 30.0) -> float:
+        """Charge every cell of a pack (in parallel); returns time (s)."""
+        cells = self._cells_of(pack)
+        t = 0.0
+        while t < max_hours * 3600.0:
+            done = True
+            for cell in cells:
+                if not self.step_cell(cell, dt).complete:
+                    done = False
+            t += dt
+            if done:
+                break
+        return t
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cells_of(pack):
+        if isinstance(pack, BigLittlePack):
+            return [pack.big, pack.little]
+        if isinstance(pack, SingleBatteryPack):
+            return [pack.cell]
+        if hasattr(pack, "cells"):
+            return list(pack.cells)
+        raise TypeError(f"cannot charge pack of type {type(pack).__name__}")
+
+    @staticmethod
+    def _accept(cell: Cell, accepted_amp_s: float, dt: float) -> None:
+        """Deposit accepted charge into the KiBaM wells.
+
+        Charge enters through the available well (the electrode
+        surface) and diffuses into the bound well over time -- the
+        mirror of discharge.  Overfill of the available well spills
+        directly into the bound well.
+        """
+        c = cell.chemistry.kibam_c
+        cap_available = cell.capacity_amp_s * c
+        into_available = min(accepted_amp_s,
+                             max(0.0, cap_available - cell._available))
+        cell._available += into_available
+        cell._bound += accepted_amp_s - into_available
+        cell._bound = min(cell._bound, cell.capacity_amp_s * (1.0 - c))
+        # Let the wells equilibrate over the step.
+        cell.rest(dt)

@@ -1,0 +1,326 @@
+"""Battery chemistry catalogue (paper Table I and Figure 4).
+
+The paper surveys six widely used lithium chemistries and rates each on
+five dimensions (cost efficiency, lifetime, discharge rate, energy
+density, safety).  From the two key dimensions -- energy density and
+discharge rate -- it classifies every chemistry as either a *big*
+battery (high energy density, gentle discharge) or a *LITTLE* battery
+(high discharge rate, good at power bursts).
+
+This module carries the published star ratings and derives the physical
+cell parameters (KiBaM well split, internal resistance, current limits)
+that the :mod:`repro.battery.cell` model needs.  The derivations are the
+substitution for real cells documented in DESIGN.md: the star ratings
+are mapped onto parameter ranges typical for each chemistry so that the
+*relative* behaviour (LMO out-discharges NCA, NCA stores more) matches
+the paper's Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "BatteryRole",
+    "FeatureRatings",
+    "Chemistry",
+    "CHEMISTRIES",
+    "LCO",
+    "NCA",
+    "LMO",
+    "NMC",
+    "LFP",
+    "LTO",
+    "classify",
+    "pick_big_little",
+]
+
+
+class BatteryRole(enum.Enum):
+    """Role of a chemistry inside a big.LITTLE pack."""
+
+    BIG = "big"
+    LITTLE = "LITTLE"
+
+
+@dataclass(frozen=True)
+class FeatureRatings:
+    """Star ratings (1..5) on the paper's five radar dimensions.
+
+    The first four columns come from Table I; safety is the fifth axis
+    of the Figure 4 radar map.
+    """
+
+    cost_efficiency: int
+    lifetime: int
+    discharge_rate: int
+    energy_density: int
+    safety: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cost_efficiency",
+            "lifetime",
+            "discharge_rate",
+            "energy_density",
+            "safety",
+        ):
+            value = getattr(self, name)
+            if not 1 <= value <= 5:
+                raise ValueError(f"rating {name}={value} outside 1..5")
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the ratings keyed by dimension name."""
+        return {
+            "cost_efficiency": self.cost_efficiency,
+            "lifetime": self.lifetime,
+            "discharge_rate": self.discharge_rate,
+            "energy_density": self.energy_density,
+            "safety": self.safety,
+        }
+
+    def normalized(self) -> Dict[str, float]:
+        """Ratings scaled to [0, 1] for the Figure 4 radar map."""
+        return {k: (v - 1) / 4.0 for k, v in self.as_dict().items()}
+
+
+# Parameter maps from star ratings to physics.  These are deliberately
+# simple monotone tables; the cell model only needs correct ordering and
+# plausible magnitudes, not cell-datasheet accuracy.
+
+#: Maximum continuous discharge C-rate by discharge-rate stars.
+_C_RATE_BY_STARS: Dict[int, float] = {1: 1.0, 2: 2.0, 3: 5.0, 4: 10.0, 5: 20.0}
+
+#: Volumetric energy density (Wh/L) by energy-density stars.
+_WH_PER_L_BY_STARS: Dict[int, float] = {1: 130.0, 2: 220.0, 3: 380.0, 4: 560.0, 5: 700.0}
+
+#: Internal ohmic resistance (ohm) for a ~2500 mAh cell, by discharge stars.
+_R_INT_BY_STARS: Dict[int, float] = {1: 0.160, 2: 0.110, 3: 0.075, 4: 0.045, 5: 0.028}
+
+#: KiBaM available-charge fraction ``c`` by discharge stars.  A larger
+#: available well means the cell tolerates bursts without stranding
+#: charge in the bound well.
+_KIBAM_C_BY_STARS: Dict[int, float] = {1: 0.30, 2: 0.40, 3: 0.50, 4: 0.62, 5: 0.75}
+
+#: KiBaM diffusion rate constant ``k`` (1/s) by discharge stars.  A
+#: larger ``k`` replenishes the available well faster (better recovery).
+#: Calibrated so a ~2500 mAh big cell can sustain roughly 1 A while a
+#: LITTLE cell sustains several amps -- putting the rate-capacity
+#: crossover right in the smartphone burst range (paper Figure 2).
+_KIBAM_K_BY_STARS: Dict[int, float] = {
+    1: 1.5e-5,
+    2: 3.0e-5,
+    3: 6.0e-5,
+    4: 4.0e-4,
+    5: 1.0e-3,
+}
+
+#: Coulombic / side-reaction efficiency at gentle rates by discharge
+#: stars.  Power-optimised chemistries (e.g. LMO's manganese
+#: dissolution) trade standing losses for burst capability, which is
+#: why the big battery wins long, steady workloads (paper Fig. 2(a)).
+_EFFICIENCY_BY_STARS: Dict[int, float] = {1: 0.995, 2: 0.99, 3: 0.98, 4: 0.95, 5: 0.93}
+
+#: V-edge RC time constant (s) by discharge stars: sluggish-diffusion
+#: chemistries sag longer and deeper on a load step.
+_TRANSIENT_TAU_BY_STARS: Dict[int, float] = {1: 30.0, 2: 20.0, 3: 12.0, 4: 5.0, 5: 2.0}
+
+#: Quadratic rate-loss coefficient by discharge stars: the share of
+#: delivered energy additionally wasted grows as (I / I_sustainable)^2.
+#: This is the D1 area of the paper's Figure 3 -- the overpotential
+#: loss a scheduler avoids by not serving bursts from a big battery.
+_RATE_LOSS_BY_STARS: Dict[int, float] = {1: 0.40, 2: 0.32, 3: 0.20, 4: 0.05, 5: 0.03}
+
+#: Hard cap on the extra rate-loss fraction.
+RATE_LOSS_CAP = 0.55
+
+#: Cycle life (full discharge cycles) by lifetime stars.
+_CYCLES_BY_STARS: Dict[int, int] = {1: 500, 2: 800, 3: 1200, 4: 2000, 5: 7000}
+
+#: Relative cost (USD per kWh, rough industry bands) by cost stars.
+#: Higher stars mean *better* cost efficiency, hence lower $/kWh.
+_USD_PER_KWH_BY_STARS: Dict[int, float] = {1: 1020.0, 2: 840.0, 3: 580.0, 4: 420.0, 5: 300.0}
+
+
+@dataclass(frozen=True)
+class Chemistry:
+    """A lithium battery chemistry with ratings and derived physics.
+
+    Instances are immutable; the module-level constants (:data:`LMO`,
+    :data:`NCA`, ...) are the catalogue the paper works from.
+    """
+
+    name: str
+    formula: str
+    ratings: FeatureRatings
+    nominal_voltage: float = 3.7
+    #: Voltage below which the cell is considered empty.
+    cutoff_voltage: float = 3.0
+    #: Voltage of a fully charged cell.
+    full_voltage: float = 4.2
+    #: Temperature coefficient of internal resistance (1/K).
+    resistance_temp_coeff: float = 0.006
+    #: RC transient used by the V-edge model: series resistance (ohm).
+    transient_resistance: float = field(default=0.0)
+    #: RC transient time constant (s).
+    transient_tau: float = field(default=0.0)
+    #: Optional override of the star-derived KiBaM diffusion rate
+    #: (used by time-compressed tuning runs; see :meth:`time_compressed`).
+    kibam_k_override: float = field(default=0.0)
+
+    # ------------------------------------------------------------------
+    # Derived physical parameters
+    # ------------------------------------------------------------------
+    @property
+    def max_c_rate(self) -> float:
+        """Maximum continuous discharge rate, in multiples of capacity."""
+        return _C_RATE_BY_STARS[self.ratings.discharge_rate]
+
+    @property
+    def energy_density_wh_per_l(self) -> float:
+        """Volumetric energy density in Wh/L."""
+        return _WH_PER_L_BY_STARS[self.ratings.energy_density]
+
+    @property
+    def internal_resistance(self) -> float:
+        """Ohmic internal resistance at 25 degC for a ~2500 mAh cell."""
+        return _R_INT_BY_STARS[self.ratings.discharge_rate]
+
+    @property
+    def kibam_c(self) -> float:
+        """KiBaM available-charge fraction ``c`` in (0, 1)."""
+        return _KIBAM_C_BY_STARS[self.ratings.discharge_rate]
+
+    @property
+    def kibam_k(self) -> float:
+        """KiBaM diffusion rate constant ``k`` in 1/s."""
+        if self.kibam_k_override > 0.0:
+            return self.kibam_k_override
+        return _KIBAM_K_BY_STARS[self.ratings.discharge_rate]
+
+    def time_compressed(self, scale: float) -> "Chemistry":
+        """A copy suited to a capacity-scaled (faster) simulation.
+
+        Scaling a cell's capacity by ``scale`` also scales its bound
+        well, so its sustainable current would shrink; dividing the
+        diffusion constant by ``scale`` keeps the sustainable current
+        -- and hence the scheduling regime -- invariant.  Used by the
+        Oracle's offline tuning pre-runs.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must lie in (0, 1]")
+        import dataclasses
+
+        return dataclasses.replace(self, kibam_k_override=self.kibam_k / scale)
+
+    @property
+    def coulombic_efficiency(self) -> float:
+        """Fraction of drawn charge delivered usefully at gentle rates."""
+        return _EFFICIENCY_BY_STARS[self.ratings.discharge_rate]
+
+    @property
+    def rate_loss_coeff(self) -> float:
+        """Quadratic overpotential-loss coefficient (see module docs)."""
+        return _RATE_LOSS_BY_STARS[self.ratings.discharge_rate]
+
+    @property
+    def cycle_life(self) -> int:
+        """Rated full discharge cycles."""
+        return _CYCLES_BY_STARS[self.ratings.lifetime]
+
+    @property
+    def usd_per_kwh(self) -> float:
+        """Rough pack-level cost in USD per kWh."""
+        return _USD_PER_KWH_BY_STARS[self.ratings.cost_efficiency]
+
+    @property
+    def role(self) -> BatteryRole:
+        """big/LITTLE classification (Table I ``Result`` column)."""
+        return classify(self)
+
+    def capacity_mah_for_volume(self, volume_cc: float) -> float:
+        """Capacity (mAh) of a cell of this chemistry filling ``volume_cc``.
+
+        Used when sizing a pack under a fixed volume budget: a big
+        chemistry packs more charge into the same can.
+        """
+        if volume_cc <= 0:
+            raise ValueError("volume must be positive")
+        wh = self.energy_density_wh_per_l * volume_cc / 1000.0
+        return wh / self.nominal_voltage * 1000.0
+
+    def effective_transient(self) -> Tuple[float, float]:
+        """(resistance, tau) of the diffusion RC branch for V-edge.
+
+        Chemistries with sluggish diffusion (low ``k``) show a deeper,
+        slower V-edge; fast chemistries barely sag.
+        """
+        if self.transient_resistance > 0 and self.transient_tau > 0:
+            return self.transient_resistance, self.transient_tau
+        r1 = 0.8 * self.internal_resistance
+        tau = _TRANSIENT_TAU_BY_STARS[self.ratings.discharge_rate]
+        return r1, tau
+
+
+def classify(chemistry: Chemistry) -> BatteryRole:
+    """Classify a chemistry as big or LITTLE (paper Table I rule).
+
+    A chemistry whose energy density strictly exceeds its discharge rate
+    is a *big* battery; otherwise it is a *LITTLE* battery.  This
+    reproduces the ``Result`` column of Table I exactly.
+    """
+    r = chemistry.ratings
+    if r.energy_density > r.discharge_rate:
+        return BatteryRole.BIG
+    return BatteryRole.LITTLE
+
+
+# ----------------------------------------------------------------------
+# The catalogue (Table I rows, plus the safety axis of Figure 4)
+# ----------------------------------------------------------------------
+
+LCO = Chemistry("LCO", "LiCoO2", FeatureRatings(2, 3, 2, 4, 2))
+NCA = Chemistry("NCA", "LiNiCoAlO2", FeatureRatings(3, 1, 3, 4, 2))
+LMO = Chemistry("LMO", "LiMn2O4", FeatureRatings(3, 1, 4, 3, 3))
+NMC = Chemistry("NMC", "LiNiMnCoO2", FeatureRatings(4, 4, 4, 3, 3))
+LFP = Chemistry("LFP", "LiFePO4", FeatureRatings(2, 4, 5, 2, 5), nominal_voltage=3.2,
+                cutoff_voltage=2.5, full_voltage=3.65)
+LTO = Chemistry("LTO", "LiTi5O12", FeatureRatings(1, 5, 5, 1, 5), nominal_voltage=2.4,
+                cutoff_voltage=1.8, full_voltage=2.85)
+
+#: All catalogued chemistries keyed by short name.
+CHEMISTRIES: Dict[str, Chemistry] = {
+    c.name: c for c in (LCO, NCA, LMO, NMC, LFP, LTO)
+}
+
+
+def pick_big_little() -> Tuple[Chemistry, Chemistry]:
+    """Return the paper's chosen (big, LITTLE) pair: (NCA, LMO).
+
+    The paper picks two chemistries that are nearly orthogonal on the
+    discharge-rate / energy-density axes: NCA as the big battery and
+    LMO as the LITTLE battery.
+    """
+    return NCA, LMO
+
+
+def orthogonality(a: Chemistry, b: Chemistry) -> float:
+    """Angle-based orthogonality score of two chemistries in the
+    (discharge rate, energy density) plane, in [0, 1].
+
+    1.0 means the two feature vectors are perpendicular (a perfect
+    big/LITTLE complement), 0.0 means they are colinear.  Used by the
+    Table I / Figure 4 benchmark to justify the NCA+LMO pick.
+    """
+    mid = 3.0  # centre of the 1..5 star scale
+    va = (a.ratings.discharge_rate - mid, a.ratings.energy_density - mid)
+    vb = (b.ratings.discharge_rate - mid, b.ratings.energy_density - mid)
+    na = math.hypot(*va)
+    nb = math.hypot(*vb)
+    if na == 0 or nb == 0:
+        return 0.0
+    cos = (va[0] * vb[0] + va[1] * vb[1]) / (na * nb)
+    return 1.0 - abs(cos)

@@ -1,0 +1,198 @@
+"""Extension: the fully mixed battery pack the paper stops short of.
+
+Section II argues that "a fully mixed battery pack is complex to
+schedule yet hard to reason the optimal scheduling solution" and
+restricts the paper to one big + one LITTLE cell.  This module
+implements the general case as an extension: an N-cell pack of
+arbitrary chemistries behind a multiplexing switch, plus a greedy
+marginal-cost router that picks, per step, the cell whose loss model
+is cheapest for the demanded power (with a switch penalty and
+failover).  It reduces exactly to big.LITTLE behaviour for N = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cell import Cell
+from .chemistry import Chemistry, RATE_LOSS_CAP
+from .pack import PackDraw
+
+__all__ = ["MixedPack", "GreedyCellRouter"]
+
+
+@dataclass
+class MixedPack:
+    """An N-cell heterogeneous pack behind a multiplexer.
+
+    Unlike :class:`~repro.battery.pack.BigLittlePack` the switch is a
+    simple multiplexer without per-event cost modelling -- the router
+    charges an explicit switch penalty instead -- which keeps the
+    general pack reusable under arbitrary scheduling policies.
+    """
+
+    cells: List[Cell]
+    #: Energy dissipated per multiplexer reroute (J).
+    switch_energy_j: float = 0.1
+
+    _active: int = field(init=False, default=0, repr=False)
+    _switches: int = field(init=False, default=0, repr=False)
+    _pending_overhead_j: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a pack needs at least one cell")
+        if self.switch_energy_j < 0:
+            raise ValueError("switch energy must be non-negative")
+
+    @classmethod
+    def from_chemistries(
+        cls, chemistries: Sequence[Chemistry], capacity_mah: float = 2500.0
+    ) -> "MixedPack":
+        """Build a pack with one ``capacity_mah`` cell per chemistry."""
+        return cls(cells=[Cell(chem, capacity_mah) for chem in chemistries])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Number of cells in the pack."""
+        return len(self.cells)
+
+    @property
+    def active_index(self) -> int:
+        """Index of the cell currently wired to the load."""
+        return self._active
+
+    @property
+    def switch_count(self) -> int:
+        """Committed reroutes."""
+        return self._switches
+
+    @property
+    def state_of_charge(self) -> float:
+        """Pack-wide remaining charge fraction."""
+        total = sum(c.capacity_amp_s for c in self.cells)
+        charge = sum(c.charge_amp_s for c in self.cells)
+        return charge / total
+
+    @property
+    def depleted(self) -> bool:
+        """True when no cell can serve."""
+        return all(c.depleted for c in self.cells)
+
+    def set_temperature(self, temp_c: float) -> None:
+        """Propagate the bay temperature to every cell."""
+        for cell in self.cells:
+            cell.temperature_c = temp_c
+
+    # ------------------------------------------------------------------
+    def select(self, index: int) -> bool:
+        """Reroute the load to cell ``index``; returns True on a switch."""
+        if not 0 <= index < len(self.cells):
+            raise IndexError("cell index out of range")
+        if index == self._active:
+            return False
+        self._active = index
+        self._switches += 1
+        self._pending_overhead_j += self.switch_energy_j
+        return True
+
+    def draw(self, power_w: float, dt: float) -> PackDraw:
+        """Serve demand from the active cell, failing over if needed."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        overhead_w = self._pending_overhead_j / dt
+        self._pending_overhead_j = 0.0
+        gross_w = power_w + overhead_w
+
+        order = [self._active] + [
+            i for i in range(len(self.cells)) if i != self._active
+        ]
+        delivered = 0.0
+        heat = 0.0
+        voltage = 0.0
+        for rank, idx in enumerate(order):
+            cell = self.cells[idx]
+            want_w = gross_w - delivered / dt
+            if want_w <= 1e-12 or cell.depleted:
+                cell.rest(dt)  # idle cells recover (KiBaM diffusion)
+                continue
+            if rank > 0:
+                # Failover reroute (costs a switch next step).
+                self.select(idx)
+            res = cell.draw_power(want_w, dt)
+            delivered += res.energy_j
+            heat += res.heat_j
+            voltage = res.voltage_v
+
+        load_j = min(power_w * dt, max(0.0, delivered - overhead_w * dt))
+        return PackDraw(
+            energy_j=load_j,
+            heat_j=heat,
+            voltage_v=voltage,
+            shortfall=load_j < power_w * dt * 0.98 and power_w > 0,
+            served_by=None,
+        )
+
+
+class GreedyCellRouter:
+    """Marginal-cost router over a :class:`MixedPack`.
+
+    For each demanded power level it scores every live cell with the
+    same loss channels the cell model implements (ohmic, coulombic,
+    quadratic rate loss against the cell's *current* sustainable
+    replenishment) plus an amortised switch penalty, and routes the
+    step to the cheapest cell.  This is the natural N-way extension of
+    the big.LITTLE decision; with two complementary cells it reproduces
+    the bursts-to-LITTLE / gentle-to-big split.
+    """
+
+    def __init__(self, pack: MixedPack, rail_voltage: float = 3.7,
+                 switch_penalty_w: float = 0.02) -> None:
+        self.pack = pack
+        self.rail_voltage = rail_voltage
+        self.switch_penalty_w = switch_penalty_w
+
+    def cost_w(self, cell: Cell, power_w: float) -> float:
+        """Estimated loss rate of serving ``power_w`` from ``cell``."""
+        if power_w <= 0:
+            return 0.0
+        chem = cell.chemistry
+        current = power_w / self.rail_voltage
+        ohmic = current * current * cell.internal_resistance()
+        i_sus = cell.sustainable_current()
+        if i_sus > 1e-12:
+            extra = min(RATE_LOSS_CAP, chem.rate_loss_coeff * (current / i_sus) ** 2)
+        else:
+            extra = RATE_LOSS_CAP
+        eta = chem.coulombic_efficiency * (1.0 - extra)
+        parasitic = (1.0 / eta - 1.0) * power_w
+        return ohmic + parasitic
+
+    def route(self, power_w: float) -> int:
+        """Pick the cheapest live cell for the next step."""
+        best_idx = self.pack.active_index
+        best_cost = float("inf")
+        for idx, cell in enumerate(self.pack.cells):
+            if cell.depleted:
+                continue
+            cost = self.cost_w(cell, power_w)
+            if idx != self.pack.active_index:
+                cost += self.switch_penalty_w
+            if cost < best_cost:
+                best_cost = cost
+                best_idx = idx
+        return best_idx
+
+    def step(self, power_w: float, dt: float) -> PackDraw:
+        """Route and serve one step."""
+        self.pack.select(self.route(power_w))
+        return self.pack.draw(power_w, dt)
+
+    def cell_shares(self) -> Dict[str, float]:
+        """Remaining SoC per cell, keyed by chemistry name (diagnostic)."""
+        return {
+            f"{cell.chemistry.name}[{i}]": cell.state_of_charge
+            for i, cell in enumerate(self.pack.cells)
+        }

@@ -1,0 +1,255 @@
+"""Battery packs: the big.LITTLE pack and the single-cell baseline.
+
+The big.LITTLE pack wires two cells of complementary chemistries behind
+the switch facility; the LITTLE rail is filtered by a supercapacitor
+(paper Figure 10).  The ``Practice`` baseline of the evaluation is a
+single battery with the same total capacity, modelled by
+:class:`SingleBatteryPack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cell import Cell, DrawResult
+from .chemistry import Chemistry, pick_big_little
+from .supercap import Supercapacitor
+from .switch import BatterySelection, BatterySwitch
+
+__all__ = ["PackDraw", "BatteryPack", "BigLittlePack", "SingleBatteryPack"]
+
+
+@dataclass(frozen=True)
+class PackDraw:
+    """Outcome of one timestep of demand served by a pack."""
+
+    #: Energy delivered to the load (J).
+    energy_j: float
+    #: Heat generated inside the pack this step (J).
+    heat_j: float
+    #: Rail voltage after the step (V).
+    voltage_v: float
+    #: True if the pack could not meet the full demand.
+    shortfall: bool
+    #: Which battery served the demand (None for single-cell packs).
+    served_by: Optional[BatterySelection] = None
+
+
+class BatteryPack:
+    """Interface shared by both pack types."""
+
+    def draw(self, power_w: float, dt: float, now_s: float) -> PackDraw:
+        """Serve ``power_w`` for ``dt`` seconds starting at ``now_s``."""
+        raise NotImplementedError
+
+    @property
+    def state_of_charge(self) -> float:
+        """Charge remaining across all cells, fraction of rated."""
+        raise NotImplementedError
+
+    @property
+    def depleted(self) -> bool:
+        """True when the pack can no longer serve demand."""
+        raise NotImplementedError
+
+    def set_temperature(self, temp_c: float) -> None:
+        """Propagate the pack-region temperature to the cells."""
+        raise NotImplementedError
+
+
+@dataclass
+class BigLittlePack(BatteryPack):
+    """Two heterogeneous cells behind the switch facility.
+
+    Parameters
+    ----------
+    big, little:
+        The two cells.  Defaults build the paper's NCA (big) + LMO
+        (LITTLE) pair at 2500 mAh each.
+    switch:
+        The :class:`~repro.battery.switch.BatterySwitch`; its event log
+        doubles as the Figure 9 signal source.
+    supercap:
+        Filter on the LITTLE rail; ``None`` disables filtering.
+    """
+
+    big: Cell = field(default_factory=lambda: Cell(pick_big_little()[0]))
+    little: Cell = field(default_factory=lambda: Cell(pick_big_little()[1]))
+    switch: BatterySwitch = field(default_factory=BatterySwitch)
+    supercap: Optional[Supercapacitor] = field(default_factory=Supercapacitor)
+
+    @classmethod
+    def from_chemistries(
+        cls,
+        big_chem: Chemistry,
+        little_chem: Chemistry,
+        capacity_mah: float = 2500.0,
+        with_supercap: bool = True,
+    ) -> "BigLittlePack":
+        """Build a pack with ``capacity_mah`` per cell."""
+        return cls(
+            big=Cell(big_chem, capacity_mah),
+            little=Cell(little_chem, capacity_mah),
+            switch=BatterySwitch(),
+            supercap=Supercapacitor() if with_supercap else None,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> BatterySelection:
+        """Currently selected battery."""
+        return self.switch.active
+
+    @property
+    def active_cell(self) -> Cell:
+        """The cell behind the active rail."""
+        return self.big if self.active is BatterySelection.BIG else self.little
+
+    def cell_for(self, selection: BatterySelection) -> Cell:
+        """The cell corresponding to ``selection``."""
+        return self.big if selection is BatterySelection.BIG else self.little
+
+    @property
+    def state_of_charge(self) -> float:
+        total = self.big.capacity_amp_s + self.little.capacity_amp_s
+        charge = self.big.charge_amp_s + self.little.charge_amp_s
+        return charge / total
+
+    @property
+    def depleted(self) -> bool:
+        return self.big.depleted and self.little.depleted
+
+    def set_temperature(self, temp_c: float) -> None:
+        self.big.temperature_c = temp_c
+        self.little.temperature_c = temp_c
+
+    def select(self, target: BatterySelection, now_s: float) -> bool:
+        """Ask the switch facility to connect ``target``.
+
+        A request for a depleted cell falls back to the surviving one.
+        Returns True if a physical switch event occurred.
+        """
+        if self.cell_for(target).depleted and not self.cell_for(target.other()).depleted:
+            target = target.other()
+        return self.switch.request(target, now_s)
+
+    def _can_serve(self, cell: Cell, power_w: float, dt: float) -> bool:
+        """Whether a cell can carry ``power_w`` for the whole step."""
+        if cell.depleted:
+            return False
+        if power_w <= 0.0:
+            return True
+        if cell.max_power_w() < power_w:
+            return False
+        i_est = power_w / max(cell.terminal_voltage(), 1.0)
+        return cell.available_amp_s > i_est * dt * 1.05
+
+    def draw(self, power_w: float, dt: float, now_s: float) -> PackDraw:
+        """Serve demand from the active rail.
+
+        The switch facility's comparator watches the rail voltage: if
+        the active cell cannot carry the step and the other cell can,
+        it fails over before the rail collapses (millisecond-scale
+        switching makes this transparent at control-step granularity).
+        """
+        if not self._can_serve(self.active_cell, power_w, dt):
+            other = self.cell_for(self.active.other())
+            if self._can_serve(other, power_w, dt) or (
+                self.active_cell.depleted and not other.depleted
+            ):
+                self.switch.request(self.active.other(), now_s)
+
+        served_by = self.active
+        cell = self.active_cell
+        idle = self.big if cell is self.little else self.little
+        heat = self.switch.take_heat_j()
+        # Switching losses are real charge: bill any unbilled switch
+        # energy as extra rail demand this step.
+        overhead_w = self.switch.take_energy_j() / dt
+        gross_w = power_w + overhead_w
+
+        battery_power = gross_w
+        cap_j = 0.0
+        if served_by is BatterySelection.LITTLE and self.supercap is not None:
+            smoothed = self.supercap.smooth(gross_w, dt)
+            battery_power = smoothed.battery_power_w
+            cap_j = smoothed.capacitor_energy_j
+            heat += smoothed.heat_j
+
+        result: DrawResult = cell.draw_power(battery_power, dt)
+        heat += result.heat_j
+
+        # Energy actually reaching the load: the battery's output net of
+        # any supercap refill share, plus what the supercap itself
+        # contributed during a burst, minus the switching overhead.
+        if cap_j > 0.0:
+            load_share_w = battery_power  # all battery output feeds the rail
+        else:
+            load_share_w = min(gross_w, battery_power)
+        if battery_power > 0.0:
+            served_fraction = result.energy_j / (battery_power * dt)
+        else:
+            served_fraction = 1.0
+        rail_j = load_share_w * dt * served_fraction + cap_j
+        delivered_j = min(power_w * dt, max(0.0, rail_j - overhead_w * dt))
+        voltage = result.voltage_v
+
+        # Mid-step failover: if the active cell came up short, the
+        # millisecond-scale switch hands the remainder to the other
+        # cell within the same control step.
+        deficit_j = power_w * dt - delivered_j
+        if deficit_j > 1e-9 and self._can_serve(idle, deficit_j / dt, dt):
+            self.switch.request(self.active.other(), now_s)
+            heat += self.switch.take_heat_j()
+            res2 = idle.draw_power(deficit_j / dt, dt)
+            if res2.energy_j > delivered_j:
+                served_by = self.active
+                voltage = res2.voltage_v
+            delivered_j += res2.energy_j
+            delivered_j = min(delivered_j, power_w * dt)
+            heat += res2.heat_j
+        else:
+            idle.rest(dt)
+
+        shortfall = result.shortfall and self.depleted
+        return PackDraw(
+            energy_j=delivered_j,
+            heat_j=heat,
+            voltage_v=voltage,
+            shortfall=shortfall,
+            served_by=served_by,
+        )
+
+
+@dataclass
+class SingleBatteryPack(BatteryPack):
+    """One cell with the combined capacity (the ``Practice`` baseline)."""
+
+    cell: Cell = field(default_factory=lambda: Cell(pick_big_little()[0], capacity_mah=5000.0))
+
+    @classmethod
+    def from_chemistry(cls, chem: Chemistry, capacity_mah: float = 5000.0) -> "SingleBatteryPack":
+        """Build a single-battery pack of the given total capacity."""
+        return cls(cell=Cell(chem, capacity_mah))
+
+    @property
+    def state_of_charge(self) -> float:
+        return self.cell.state_of_charge
+
+    @property
+    def depleted(self) -> bool:
+        return self.cell.depleted
+
+    def set_temperature(self, temp_c: float) -> None:
+        self.cell.temperature_c = temp_c
+
+    def draw(self, power_w: float, dt: float, now_s: float) -> PackDraw:
+        result = self.cell.draw_power(power_w, dt)
+        return PackDraw(
+            energy_j=result.energy_j,
+            heat_j=result.heat_j,
+            voltage_v=result.voltage_v,
+            shortfall=result.shortfall and self.cell.depleted,
+            served_by=None,
+        )

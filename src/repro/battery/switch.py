@@ -1,0 +1,161 @@
+"""The big.LITTLE battery switch facility.
+
+Hardware in the paper (Figures 9-11): an LM339AD voltage comparator
+drives two MOSFETs; a raised TTL signal (3.5 V) selects one battery and
+a dropped signal (0.3 V) the other, with a 20 kHz oscillator giving
+millisecond-scale switching.  Each voltage flip is a switch event and
+each switch costs a little energy and injects a heat pulse -- costs the
+scheduler must weigh against the benefit of using the better battery.
+
+We model the switch as an object with latency, per-switch energy loss
+and heat, plus an optional minimum dwell time; and we reproduce the
+Figure 9 TTL signal from the switch event log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["BatterySelection", "SwitchEvent", "BatterySwitch", "ttl_signal"]
+
+
+class BatterySelection(enum.Enum):
+    """Which cell of the pack is wired to the load."""
+
+    BIG = "big"
+    LITTLE = "LITTLE"
+
+    def other(self) -> "BatterySelection":
+        """The complementary selection."""
+        return BatterySelection.LITTLE if self is BatterySelection.BIG else BatterySelection.BIG
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One committed battery switch."""
+
+    time_s: float
+    target: BatterySelection
+
+
+@dataclass
+class BatterySwitch:
+    """Comparator + MOSFET switch with explicit switching costs.
+
+    Parameters
+    ----------
+    latency_s:
+        Time for a switch to take effect (default 1 ms; the prototype's
+        20 kHz oscillator supports millisecond-scale switching).
+    switch_energy_j:
+        Energy dissipated per switch event in the MOSFETs.
+    switch_heat_j:
+        Heat pulse injected near the battery per switch event.
+    min_dwell_s:
+        Debounce: requests arriving sooner than this after the previous
+        committed switch are refused (anti-chatter guard).
+    """
+
+    latency_s: float = 1e-3
+    switch_energy_j: float = 0.1
+    switch_heat_j: float = 0.08
+    min_dwell_s: float = 0.0
+    initial: BatterySelection = BatterySelection.BIG
+
+    _active: BatterySelection = field(init=False, repr=False)
+    _last_switch_time: float = field(init=False, default=float("-inf"), repr=False)
+    _events: List[SwitchEvent] = field(init=False, default_factory=list, repr=False)
+    _energy_spent_j: float = field(init=False, default=0.0, repr=False)
+    _heat_emitted_j: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.switch_energy_j < 0 or self.switch_heat_j < 0:
+            raise ValueError("switch costs must be non-negative")
+        self._active = self.initial
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> BatterySelection:
+        """The currently connected battery."""
+        return self._active
+
+    @property
+    def switch_count(self) -> int:
+        """Number of committed switch events."""
+        return len(self._events)
+
+    @property
+    def events(self) -> Tuple[SwitchEvent, ...]:
+        """Immutable view of the switch log."""
+        return tuple(self._events)
+
+    @property
+    def energy_spent_j(self) -> float:
+        """Total switching energy dissipated so far (J)."""
+        return self._energy_spent_j
+
+    @property
+    def heat_emitted_j(self) -> float:
+        """Total switching heat injected so far (J)."""
+        return self._heat_emitted_j
+
+    def request(self, target: BatterySelection, now_s: float) -> bool:
+        """Request a switch to ``target`` at time ``now_s``.
+
+        Returns True if a switch event was committed (and its costs
+        charged), False if the request was a no-op (already active) or
+        refused by the dwell guard.
+        """
+        if target is self._active:
+            return False
+        if now_s - self._last_switch_time < self.min_dwell_s:
+            return False
+        self._active = target
+        self._last_switch_time = now_s
+        self._events.append(SwitchEvent(now_s, target))
+        self._energy_spent_j += self.switch_energy_j
+        self._heat_emitted_j += self.switch_heat_j
+        return True
+
+    def take_heat_j(self) -> float:
+        """Drain the accumulated switching heat (for the thermal model)."""
+        heat = self._heat_emitted_j
+        self._heat_emitted_j = 0.0
+        return heat
+
+    _pending_energy_j: float = field(init=False, default=0.0, repr=False)
+
+    def take_energy_j(self) -> float:
+        """Drain the switching energy not yet billed to the pack.
+
+        The pack adds this to the battery draw of the step following
+        each switch event -- switching losses are real charge.
+        """
+        unbilled = self._energy_spent_j - self._pending_energy_j
+        self._pending_energy_j = self._energy_spent_j
+        return unbilled
+
+
+def ttl_signal(
+    events: Tuple[SwitchEvent, ...],
+    t_end: float,
+    high_v: float = 3.5,
+    low_v: float = 0.3,
+    initial: BatterySelection = BatterySelection.BIG,
+) -> List[Tuple[float, float]]:
+    """Reconstruct the Figure 9 TTL control waveform from a switch log.
+
+    The signal starts at the level encoding ``initial`` and flips on
+    every switch event; the result is a list of ``(time, volts)``
+    breakpoints suitable for a step plot.  BIG is encoded high.
+    """
+    level = high_v if initial is BatterySelection.BIG else low_v
+    points: List[Tuple[float, float]] = [(0.0, level)]
+    for ev in events:
+        points.append((ev.time_s, level))  # hold until the flip
+        level = high_v if ev.target is BatterySelection.BIG else low_v
+        points.append((ev.time_s, level))
+    points.append((t_end, level))
+    return points

@@ -1,0 +1,139 @@
+"""V-edge voltage dynamics and the D1/D2/D3 saving-potential analysis.
+
+Paper Figure 3 (after Xu et al., NSDI'13): when a power demand arrives,
+the battery output voltage first drops quickly, then settles at a level
+below the initial voltage -- the *V-edge*.  Comparing the measured curve
+against the ideal rectangular response splits the response into three
+areas:
+
+* ``D1`` -- the extra ohmic/transient sag paid at the step (loss),
+* ``D2`` -- the ideal plateau consumption,
+* ``D3`` -- the recovery headroom after the step ends (potential gain).
+
+The saving potential CAPMAN exploits is ``D3 - D1``: a LITTLE battery
+minimises D1 (small sag on bursts), a big battery maximises D3 (deep
+recovery during long plateaus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .cell import Cell
+
+__all__ = ["VEdgeTrace", "VEdgeAnalysis", "simulate_step_response", "analyze_vedge"]
+
+
+@dataclass(frozen=True)
+class VEdgeTrace:
+    """Sampled terminal voltage around one load step."""
+
+    times: Tuple[float, ...]
+    voltages: Tuple[float, ...]
+    #: Voltage just before the step was applied.
+    initial_voltage: float
+    #: Power of the step (W) and its duration (s).
+    step_power_w: float
+    step_duration_s: float
+
+
+@dataclass(frozen=True)
+class VEdgeAnalysis:
+    """Areas (volt-seconds) of the Figure 3 decomposition."""
+
+    d1: float
+    d2: float
+    d3: float
+
+    @property
+    def saving_potential(self) -> float:
+        """The exploitable area ``D3 - D1`` (may be negative)."""
+        return self.d3 - self.d1
+
+
+def simulate_step_response(
+    cell: Cell,
+    step_power_w: float,
+    step_duration_s: float,
+    rest_duration_s: float,
+    dt: float = 0.05,
+    inrush_factor: float = 2.5,
+    inrush_s: float = 1.0,
+) -> VEdgeTrace:
+    """Apply a power step to ``cell`` and record the terminal voltage.
+
+    Real demand steps (app launch, screen wake) open with a short
+    *inrush* above the settled level -- that is what produces the
+    V-edge: a quick deep drop, then a rise to a plateau below the
+    initial voltage.  ``inrush_factor``/``inrush_s`` shape the spike;
+    set the factor to 1 for a pure rectangle.
+
+    The cell is mutated; pass ``cell.clone()`` to keep the original.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if inrush_factor < 1.0:
+        raise ValueError("inrush_factor must be >= 1")
+    times: List[float] = []
+    volts: List[float] = []
+    v0 = cell.terminal_voltage()
+    t = 0.0
+    while t < step_duration_s:
+        power = step_power_w
+        if t < inrush_s:
+            power = step_power_w * inrush_factor
+        res = cell.draw_power(power, dt)
+        t += dt
+        times.append(t)
+        volts.append(res.voltage_v)
+    while t < step_duration_s + rest_duration_s:
+        cell.rest(dt)
+        t += dt
+        times.append(t)
+        volts.append(cell.terminal_voltage())
+    return VEdgeTrace(tuple(times), tuple(volts), v0, step_power_w, step_duration_s)
+
+
+def _trapezoid(xs: Sequence[float], ys: Sequence[float]) -> float:
+    total = 0.0
+    for i in range(1, len(xs)):
+        total += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1])
+    return total
+
+
+def analyze_vedge(trace: VEdgeTrace) -> VEdgeAnalysis:
+    """Decompose a step response into the D1/D2/D3 areas of Figure 3.
+
+    The *ideal* response is a rectangle: voltage stays at the settled
+    plateau level during the step and returns to the initial voltage
+    instantly afterwards.
+
+    * ``D1`` is the area between the ideal plateau and the actual sag
+      during the step (extra transient loss).
+    * ``D2`` is the plateau deficit itself (initial minus settled level,
+      integrated over the step) -- the unavoidable consumption.
+    * ``D3`` is the area between the initial voltage and the actual
+      recovery curve after the step (headroom a scheduler can reuse).
+    """
+    on_times = [t for t in trace.times if t <= trace.step_duration_s]
+    n_on = len(on_times)
+    on_v = trace.voltages[:n_on]
+    off_times = trace.times[n_on:]
+    off_v = trace.voltages[n_on:]
+    if not on_v:
+        raise ValueError("trace contains no samples during the step")
+
+    plateau = on_v[-1]
+    v0 = trace.initial_voltage
+
+    # D1: sag below the settled plateau while the load is applied.
+    d1 = _trapezoid(on_times, [max(0.0, plateau - v) for v in on_v])
+    # D2: ideal plateau deficit relative to the initial voltage.
+    d2 = max(0.0, v0 - plateau) * trace.step_duration_s
+    # D3: recovery shortfall after the step (actual below initial).
+    if len(off_times) >= 2:
+        d3 = _trapezoid(off_times, [max(0.0, v0 - v) for v in off_v])
+    else:
+        d3 = 0.0
+    return VEdgeAnalysis(d1=d1, d2=d2, d3=d3)

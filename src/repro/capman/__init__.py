@@ -1,0 +1,25 @@
+"""CAPMAN framework: controller, profiler, actuator, calibration,
+and the evaluation baselines."""
+
+from .actuator import CapmanActuator
+from .baselines import DualPolicy, HeuristicPolicy, OraclePolicy, PracticePolicy
+from .calibration import CalibrationPoint, RuntimeCalibrator
+from .controller import CapmanPolicy
+from .framework import Capman, CapmanTick
+from .profiler import BatteryCostModel, PowerProfiler, device_key_of
+
+__all__ = [
+    "Capman",
+    "CapmanTick",
+    "CapmanActuator",
+    "DualPolicy",
+    "HeuristicPolicy",
+    "OraclePolicy",
+    "PracticePolicy",
+    "CalibrationPoint",
+    "RuntimeCalibrator",
+    "CapmanPolicy",
+    "BatteryCostModel",
+    "PowerProfiler",
+    "device_key_of",
+]

@@ -1,0 +1,84 @@
+"""The actuator: MDP output to physical switch signal + TEC trigger.
+
+Paper Section III-E / IV: the battery decision is a binary choice
+realised by flipping a TTL-level control signal (Figure 9) into the
+comparator + MOSFET switch facility (Figure 11); the TEC is powered
+directly from the switch facility whenever the monitored spot exceeds
+45 degC.  :class:`CapmanActuator` wraps a phone's switch and TEC with
+that interface and exposes the reconstructed control waveform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..battery.pack import BigLittlePack
+from ..battery.switch import BatterySelection, ttl_signal
+from ..device.phone import Phone
+from ..thermal.hotspot import HOT_SPOT_THRESHOLD_C, ThermostatController
+
+__all__ = ["CapmanActuator"]
+
+
+@dataclass
+class CapmanActuator:
+    """Applies scheduling decisions to a phone's hardware.
+
+    Parameters
+    ----------
+    phone:
+        The phone whose switch facility and TEC are driven.  The
+        phone's pack must be a big.LITTLE pack.
+    threshold_c:
+        TEC trigger temperature (the paper's 45 degC hot-spot line).
+    """
+
+    phone: Phone
+    threshold_c: float = HOT_SPOT_THRESHOLD_C
+
+    _thermostat: ThermostatController = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.phone.pack, BigLittlePack):
+            raise TypeError("the actuator needs a big.LITTLE pack")
+        self._thermostat = ThermostatController(threshold_c=self.threshold_c)
+
+    # ------------------------------------------------------------------
+    def apply(self, selection: Optional[BatterySelection], now_s: float) -> bool:
+        """Commit a battery decision and refresh the TEC trigger.
+
+        Returns True if a physical switch event occurred.  ``None``
+        keeps the current battery (no signal flip).
+        """
+        switched = False
+        if selection is not None:
+            switched = self.phone.select_battery(selection)
+        tec_on = self._thermostat.update(self.phone.cpu_temp_c, now_s)
+        self.phone.set_tec(tec_on)
+        return switched
+
+    @property
+    def active(self) -> BatterySelection:
+        """The battery currently wired to the load."""
+        pack = self.phone.pack
+        assert isinstance(pack, BigLittlePack)
+        return pack.active
+
+    @property
+    def switch_count(self) -> int:
+        """Committed switch events so far."""
+        pack = self.phone.pack
+        assert isinstance(pack, BigLittlePack)
+        return pack.switch.switch_count
+
+    def control_signal(self, t_end: float) -> List[Tuple[float, float]]:
+        """The Figure 9 TTL waveform reconstructed from the event log."""
+        pack = self.phone.pack
+        assert isinstance(pack, BigLittlePack)
+        return ttl_signal(pack.switch.events, t_end, initial=pack.switch.initial)
+
+    @property
+    def tec_is_on(self) -> bool:
+        """Whether the thermostat currently powers the TEC."""
+        return self._thermostat.is_on

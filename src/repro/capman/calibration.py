@@ -1,0 +1,106 @@
+"""Runtime calibration: picking the discount factor per device.
+
+Paper Figure 16: the decision overhead grows steeply as ``rho``
+approaches 1 (about 300 microseconds on the Nexus), at which point
+millisecond-scale battery control becomes unstable -- so each device
+must be calibrated to the largest ``rho`` it can afford.  This module
+measures real decision latencies of the online scheduler across a
+``rho`` sweep and recommends a configuration under a latency budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.mdp import MDP
+from ..core.online import OnlineScheduler
+
+__all__ = ["CalibrationPoint", "RuntimeCalibrator"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """Measured overhead at one discount factor."""
+
+    rho: float
+    mean_latency_us: float
+    p95_latency_us: float
+    sweeps_per_decision: int
+
+
+class RuntimeCalibrator:
+    """Measures decision overhead as a function of ``rho``.
+
+    Parameters
+    ----------
+    mdp:
+        The decision MDP to schedule over.
+    compute_speed:
+        Relative device speed (1.0 = Nexus); faster devices do the
+        same refinement in less time, separating the Figure 16 curves.
+    precision:
+        Refinement precision target passed to the scheduler.
+    """
+
+    def __init__(
+        self,
+        mdp: MDP,
+        compute_speed: float = 1.0,
+        precision: float = 1e-2,
+    ) -> None:
+        self.mdp = mdp
+        self.compute_speed = compute_speed
+        self.precision = precision
+
+    def measure(self, rho: float, n_decisions: int = 64, seed: int = 0) -> CalibrationPoint:
+        """Time ``n_decisions`` online decisions at a given ``rho``."""
+        scheduler = OnlineScheduler(
+            self.mdp,
+            rho=rho,
+            precision=self.precision,
+            compute_speed=self.compute_speed,
+        )
+        rng = np.random.default_rng(seed)
+        live_states = [s for s in self.mdp.states if self.mdp.available_actions(s)]
+        if not live_states:
+            raise ValueError("MDP has no schedulable states")
+        for _ in range(n_decisions):
+            state = live_states[int(rng.integers(len(live_states)))]
+            scheduler.decide(state)
+        latencies = np.array([d.latency_us for d in scheduler.decisions])
+        return CalibrationPoint(
+            rho=rho,
+            mean_latency_us=float(latencies.mean()),
+            p95_latency_us=float(np.percentile(latencies, 95)),
+            sweeps_per_decision=scheduler.refinement_sweep_count(),
+        )
+
+    def sweep(
+        self,
+        rhos: Sequence[float] = (0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99),
+        n_decisions: int = 64,
+        seed: int = 0,
+    ) -> List[CalibrationPoint]:
+        """Measure a whole ``rho`` sweep (the Figure 16 x-axis)."""
+        return [self.measure(r, n_decisions, seed) for r in rhos]
+
+    def recommend(
+        self,
+        budget_us: float,
+        rhos: Sequence[float] = (0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99),
+        n_decisions: int = 32,
+        seed: int = 0,
+    ) -> Optional[CalibrationPoint]:
+        """Largest ``rho`` whose mean latency fits the budget.
+
+        Returns None when even the smallest candidate busts the budget.
+        """
+        best: Optional[CalibrationPoint] = None
+        for point in self.sweep(rhos, n_decisions, seed):
+            if point.mean_latency_us <= budget_us:
+                if best is None or point.rho > best.rho:
+                    best = point
+        return best

@@ -1,0 +1,140 @@
+"""The CAPMAN framework facade (paper Figure 5).
+
+:class:`Capman` wires the whole framework onto a live phone for
+real-time use outside the experiment harness: the profiler/monitor
+collects runtime statistics, the MDP + online scheduler produce battery
+decisions, and the actuator realises them together with the TEC
+thermostat.  Call :meth:`tick` once per control interval with the
+current demand; everything else -- learning, replanning, switching,
+cooling -- happens inside.
+
+The :mod:`repro.sim.discharge` harness remains the tool for controlled
+experiments (it owns the clock and replays identical traces across
+policies); this facade is the deployment-shaped API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..battery.pack import BigLittlePack
+from ..battery.switch import BatterySelection
+from ..device.phone import DemandSlice, Phone, StepOutcome
+from ..device.syscalls import Syscall
+from ..sim.discharge import PolicyContext
+from .actuator import CapmanActuator
+from .controller import CapmanPolicy
+
+__all__ = ["CapmanTick", "Capman"]
+
+
+@dataclass(frozen=True)
+class CapmanTick:
+    """What one control tick did."""
+
+    #: The step's physical outcome.
+    outcome: StepOutcome
+    #: Battery the framework selected for the step.
+    selection: BatterySelection
+    #: True if a physical switch event occurred this tick.
+    switched: bool
+    #: Whether the TEC is powered after the tick.
+    tec_on: bool
+
+
+class Capman:
+    """CAPMAN attached to a phone.
+
+    Parameters
+    ----------
+    phone:
+        A phone whose pack is a big.LITTLE pack.  Build one with
+        ``Phone(pack=CapmanPolicy().build_pack())`` or let
+        :meth:`create` do it.
+    policy:
+        The controller; defaults to a fresh :class:`CapmanPolicy` sized
+        to the phone's pack.
+    """
+
+    def __init__(self, phone: Phone, policy: Optional[CapmanPolicy] = None) -> None:
+        if not isinstance(phone.pack, BigLittlePack):
+            raise TypeError("CAPMAN requires a big.LITTLE pack")
+        self.phone = phone
+        self.policy = policy or CapmanPolicy(
+            capacity_mah=phone.pack.big.capacity_mah
+        )
+        self.actuator = CapmanActuator(phone)
+        # The controller learns online; it only needs the phone profile.
+        from ..workload.traces import Trace
+        from ..workload.base import Segment
+
+        bootstrap = Trace([Segment(DemandSlice(), 1.0)], name="live")
+        self.policy.on_cycle_start(bootstrap, phone)
+        self._last_demand: Optional[DemandSlice] = None
+
+    @classmethod
+    def create(cls, capacity_mah: float = 2500.0, **phone_kwargs) -> "Capman":
+        """A ready-to-run phone + framework pair."""
+        policy = CapmanPolicy(capacity_mah=capacity_mah)
+        phone = Phone(pack=policy.build_pack(), **phone_kwargs)
+        return cls(phone, policy)
+
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        demand: DemandSlice,
+        dt: float,
+        syscall: Optional[Syscall] = None,
+    ) -> CapmanTick:
+        """Run one control interval: decide, actuate, advance physics.
+
+        ``syscall`` marks the event that started a new demand segment
+        (feeds the MDP's action statistics); pass None for
+        continuation ticks.
+        """
+        phone = self.phone
+        pack = phone.pack
+        assert isinstance(pack, BigLittlePack)
+
+        segment_start = syscall is not None or self._last_demand != demand
+        ctx = PolicyContext(
+            now_s=phone.clock_s,
+            demand=demand,
+            syscall=syscall,
+            predicted_power_w=phone.demand_power_w(demand),
+            cpu_temp_c=phone.cpu_temp_c,
+            surface_temp_c=phone.surface_temp_c,
+            soc_big=pack.big.state_of_charge,
+            soc_little=pack.little.state_of_charge,
+            active=pack.active,
+            segment_start=segment_start,
+        )
+        self._last_demand = demand
+
+        selection = self.policy.decide_battery(ctx) or pack.active
+        switched = self.actuator.apply(selection, phone.clock_s)
+        outcome = phone.step(demand, dt)
+        return CapmanTick(
+            outcome=outcome,
+            selection=pack.active,
+            switched=switched,
+            tec_on=self.actuator.tec_is_on,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def depleted(self) -> bool:
+        """True once the pack can no longer serve demand."""
+        return self.phone.depleted
+
+    @property
+    def state_of_charge(self) -> float:
+        """Pack-wide state of charge."""
+        return self.phone.pack.state_of_charge
+
+    def control_signal(self, t_end: Optional[float] = None):
+        """The Figure 9 TTL waveform up to ``t_end`` (default: now)."""
+        return self.actuator.control_signal(
+            t_end if t_end is not None else self.phone.clock_s
+        )

@@ -1,0 +1,127 @@
+"""The competitiveness bound (paper Eq. 10 and Theorem, Section III-D).
+
+With ``C_S = 1`` and ``C_A = rho`` the converged structural distances
+bound optimal-value differences:
+
+    |V*_u - V*_v|  <=  delta_S*(u, v) / (1 - rho)
+    |Q*_a - Q*_b|  <=  delta_A*(a, b) / (1 - rho)
+
+Since rewards live in [0, 1] and ``sum rho^k = 1/(1-rho)``, a scheduler
+that acts from a state's nearest structural neighbour is within
+``O(1/(1-rho))`` of the optimal policy -- the paper's worst-case
+competitiveness.  This module provides the bound arithmetic and
+empirical verifiers used by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from .mdp import MDP
+from .similarity import SimilarityResult
+from .solver import Solution
+
+__all__ = [
+    "value_difference_bound",
+    "competitiveness_factor",
+    "BoundCheck",
+    "verify_value_bound",
+    "verify_action_bound",
+]
+
+State = Hashable
+
+
+def value_difference_bound(delta: float, rho: float) -> float:
+    """``delta / (1 - rho)`` -- the Eq. (10) right-hand side."""
+    if not 0.0 <= rho < 1.0:
+        raise ValueError("rho must lie in [0, 1)")
+    if delta < 0:
+        raise ValueError("distance must be non-negative")
+    return delta / (1.0 - rho)
+
+
+def competitiveness_factor(rho: float) -> float:
+    """The worst-case competitiveness ``O(1/(1-rho))`` headline factor.
+
+    E.g. the paper's example: rho = 0.05 gives ~1.05-competitiveness.
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ValueError("rho must lie in [0, 1)")
+    return 1.0 / (1.0 - rho)
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of checking Eq. (10) over all pairs."""
+
+    pairs_checked: int
+    violations: int
+    worst_gap: float
+    #: The pair realising the worst gap (diagnostic).
+    worst_pair: Tuple[State, State]
+
+    @property
+    def holds(self) -> bool:
+        """True when no pair violates the bound (beyond tolerance)."""
+        return self.violations == 0
+
+
+def verify_value_bound(
+    mdp: MDP,
+    solution: Solution,
+    similarity: SimilarityResult,
+    rho: float,
+    tolerance: float = 1e-3,
+) -> BoundCheck:
+    """Check ``|V*_u - V*_v| <= delta_S*(u,v)/(1-rho)`` on every pair.
+
+    ``tolerance`` absorbs fixed-point and EMD solver residuals.
+    """
+    states: List[State] = list(mdp.states)
+    violations = 0
+    worst_gap = -float("inf")
+    worst_pair: Tuple[State, State] = (states[0], states[0])
+    checked = 0
+    for i, u in enumerate(states):
+        for v in states[i + 1:]:
+            checked += 1
+            lhs = abs(solution.value(u) - solution.value(v))
+            rhs = value_difference_bound(similarity.delta_s(u, v), rho)
+            gap = lhs - rhs
+            if gap > worst_gap:
+                worst_gap = gap
+                worst_pair = (u, v)
+            if gap > tolerance:
+                violations += 1
+    return BoundCheck(checked, violations, worst_gap, worst_pair)
+
+
+def verify_action_bound(
+    mdp: MDP,
+    solution: Solution,
+    similarity: SimilarityResult,
+    rho: float,
+    tolerance: float = 1e-3,
+) -> BoundCheck:
+    """Check ``|Q*_a - Q*_b| <= delta_A*(a,b)/(1-rho)`` on every pair."""
+    nodes = similarity.graph.action_nodes
+    violations = 0
+    worst_gap = -float("inf")
+    worst_pair = (nodes[0], nodes[0]) if nodes else (None, None)
+    checked = 0
+    for i, a in enumerate(nodes):
+        qa = solution.q_values[(a.state, a.action)]
+        for b in nodes[i + 1:]:
+            checked += 1
+            qb = solution.q_values[(b.state, b.action)]
+            lhs = abs(qa - qb)
+            rhs = value_difference_bound(similarity.delta_a(a, b), rho)
+            gap = lhs - rhs
+            if gap > worst_gap:
+                worst_gap = gap
+                worst_pair = (a, b)
+            if gap > tolerance:
+                violations += 1
+    return BoundCheck(checked, violations, worst_gap, worst_pair)

@@ -1,0 +1,123 @@
+"""The bipartite MDP graph ``G_M = (V, Lambda, E, Psi, p, r)``.
+
+Paper Section III-B: state nodes ``V`` and action nodes ``Lambda`` form
+a directed bipartite graph.  *Decision edges* ``E`` run from a state to
+each action available there (unweighted); *transition edges* ``Psi``
+run from an action node to its successor states, weighted by
+probability ``p`` and reward ``r``.  The graph corresponds one-to-one
+with the MDP, so solving on the graph solves the MDP.
+
+The paper only materialises action nodes that connect states with
+*different battery selections* (switch decisions); pass an
+``action_filter`` to reproduce that pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from .mdp import MDP, Action, State
+
+__all__ = ["ActionNode", "MDPGraph"]
+
+
+@dataclass(frozen=True)
+class ActionNode:
+    """An action node: one (state, action) pair of the MDP."""
+
+    state: State
+    action: Action
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ActionNode({self.state!r}, {self.action!r})"
+
+
+class MDPGraph:
+    """Bipartite graph view over an :class:`~repro.core.mdp.MDP`."""
+
+    def __init__(
+        self,
+        mdp: MDP,
+        action_filter: Optional[Callable[[State, Action, Dict[State, float]], bool]] = None,
+    ) -> None:
+        self.mdp = mdp
+        #: State nodes V (all MDP states are kept).
+        self.state_nodes: List[State] = list(mdp.states)
+        #: Action nodes Lambda, possibly filtered.
+        self.action_nodes: List[ActionNode] = []
+        #: Decision edges E: state -> its action nodes.
+        self._decisions: Dict[State, List[ActionNode]] = {s: [] for s in mdp.states}
+        #: Transition edges Psi: action node -> {successor: (p, r)}.
+        self._transitions: Dict[ActionNode, Dict[State, Tuple[float, float]]] = {}
+
+        for (s, a), dist in mdp.transitions.items():
+            if action_filter is not None and not action_filter(s, a, dist):
+                continue
+            node = ActionNode(s, a)
+            self.action_nodes.append(node)
+            self._decisions[s].append(node)
+            self._transitions[node] = {
+                sp: (p, mdp.reward(s, a, sp)) for sp, p in dist.items()
+            }
+
+        self._state_index = {s: i for i, s in enumerate(self.state_nodes)}
+        self._action_index = {n: i for i, n in enumerate(self.action_nodes)}
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_state_nodes(self) -> int:
+        """|V|."""
+        return len(self.state_nodes)
+
+    @property
+    def n_action_nodes(self) -> int:
+        """|Lambda|."""
+        return len(self.action_nodes)
+
+    def out_actions(self, state: State) -> List[ActionNode]:
+        """Action-node out-neighbours ``N_u`` of a state node."""
+        return list(self._decisions[state])
+
+    def successor_dist(self, node: ActionNode) -> Dict[State, float]:
+        """Transition distribution ``p_a`` of an action node."""
+        return {sp: pr[0] for sp, pr in self._transitions[node].items()}
+
+    def rewards_of(self, node: ActionNode) -> Dict[State, float]:
+        """Per-successor rewards of an action node."""
+        return {sp: pr[1] for sp, pr in self._transitions[node].items()}
+
+    def mean_reward(self, node: ActionNode) -> float:
+        """``mu`` -- the expected one-step reward of the action node."""
+        return sum(p * r for p, r in self._transitions[node].values())
+
+    def is_absorbing(self, state: State) -> bool:
+        """A state node with zero out-degree (scheduling target)."""
+        return not self._decisions[state]
+
+    @property
+    def absorbing_states(self) -> List[State]:
+        """All absorbing state nodes."""
+        return [s for s in self.state_nodes if self.is_absorbing(s)]
+
+    def state_index(self, state: State) -> int:
+        """Dense index of a state node."""
+        return self._state_index[state]
+
+    def action_index(self, node: ActionNode) -> int:
+        """Dense index of an action node."""
+        return self._action_index[node]
+
+    def max_action_out_degree(self) -> int:
+        """``K_max``: the largest successor count of any action node."""
+        if not self.action_nodes:
+            return 0
+        return max(len(self._transitions[n]) for n in self.action_nodes)
+
+    def max_state_out_degree(self) -> int:
+        """``L_max``: the largest action count of any state node."""
+        if not self.state_nodes:
+            return 0
+        return max(len(v) for v in self._decisions.values())

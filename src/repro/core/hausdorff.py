@@ -1,0 +1,45 @@
+"""Hausdorff distance between finite sets under a custom metric.
+
+Algorithm 1 compares two state nodes by the Hausdorff distance between
+their action-node neighbourhoods, measured with the current action
+distance ``delta_A``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["directed_hausdorff", "hausdorff"]
+
+T = TypeVar("T")
+
+
+def directed_hausdorff(
+    a: Sequence[T], b: Sequence[T], distance: Callable[[T, T], float]
+) -> float:
+    """``sup_{x in a} inf_{y in b} d(x, y)``.
+
+    Empty ``a`` contributes 0 (nothing to cover); empty ``b`` with a
+    non-empty ``a`` is infinitely far, reported as 1.0 since all our
+    metrics are normalised to [0, 1].
+    """
+    if not a:
+        return 0.0
+    if not b:
+        return 1.0
+    worst = 0.0
+    for x in a:
+        best = min(distance(x, y) for y in b)
+        if best > worst:
+            worst = best
+    return worst
+
+
+def hausdorff(
+    a: Sequence[T], b: Sequence[T], distance: Callable[[T, T], float]
+) -> float:
+    """Symmetric Hausdorff distance ``max(h(a,b), h(b,a))``."""
+    return max(
+        directed_hausdorff(a, b, distance),
+        directed_hausdorff(b, a, distance),
+    )

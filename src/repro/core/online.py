@@ -1,0 +1,197 @@
+"""The online approximation scheduler (paper Sections III-C/III-D).
+
+Solving the full MDP graph per decision is too slow for circuit-level
+battery switching (micro/millisecond granularity).  CAPMAN instead:
+
+1. solves the MDP and the structural-similarity recursion *offline /
+   in the background* (when the device is idle), producing a similarity
+   index over known states;
+2. answers online decisions by table lookup for known states, or by
+   reusing the decision of the *most similar* known state for novel or
+   stale states -- with Eq. (10) bounding the value loss by
+   ``delta_S/(1-rho)``, i.e. ``O(1/(1-rho))`` competitiveness;
+3. spends a per-decision refinement budget that grows with ``rho``
+   (more discounting horizon means more Bellman sweeps for the same
+   precision), which is exactly the overhead curve of paper Figure 16.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .graph import MDPGraph
+from .mdp import MDP, Action, State
+from .similarity import SimilarityResult, StructuralSimilarity
+from .solver import Solution, value_iteration
+
+__all__ = ["DecisionRecord", "OnlineScheduler"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One online decision with provenance and measured latency."""
+
+    state: State
+    action: Optional[Action]
+    #: "exact" (known state), "similar" (borrowed), "fallback".
+    source: str
+    #: The state whose decision was borrowed, when source == "similar".
+    surrogate: Optional[State]
+    #: Structural distance to the surrogate (0 for exact decisions).
+    delta_s: float
+    #: Wall-clock decision latency in microseconds.
+    latency_us: float
+
+
+class OnlineScheduler:
+    """Similarity-indexed online decision engine.
+
+    Parameters
+    ----------
+    mdp:
+        The (profiled) decision MDP.
+    rho:
+        Discount factor; also instantiates the similarity discounts as
+        the bound requires (``C_S = 1``, ``C_A = rho``).
+    precision:
+        Target precision of the per-decision refinement; the sweep
+        count scales as ``ln(1/precision) / (1 - rho)``.
+    compute_speed:
+        Relative device speed (divides the refinement budget's work,
+        modelling the Nexus/Honor/Lenovo differences of Figure 16).
+    """
+
+    def __init__(
+        self,
+        mdp: MDP,
+        rho: float = 0.9,
+        precision: float = 1e-2,
+        compute_speed: float = 1.0,
+        similarity_tol: float = 1e-3,
+        similarity_max_iter: int = 25,
+    ) -> None:
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must lie in [0, 1)")
+        if compute_speed <= 0:
+            raise ValueError("compute_speed must be positive")
+        self.mdp = mdp
+        self.rho = rho
+        self.precision = precision
+        self.compute_speed = compute_speed
+        self.graph = MDPGraph(mdp)
+        self.solution: Solution = value_iteration(mdp, rho)
+        self.similarity: Optional[SimilarityResult] = None
+        self._similarity_tol = similarity_tol
+        self._similarity_max_iter = similarity_max_iter
+        self._stale: set = set()
+        self.decisions: List[DecisionRecord] = []
+
+    # ------------------------------------------------------------------
+    # Background work
+    # ------------------------------------------------------------------
+    def build_similarity_index(self) -> SimilarityResult:
+        """Run Algorithm 1 in the background (bound instantiation)."""
+        solver = StructuralSimilarity(
+            self.graph,
+            c_s=1.0,
+            c_a=max(self.rho, 1e-6),
+            tol=self._similarity_tol,
+            max_iter=self._similarity_max_iter,
+        )
+        self.similarity = solver.solve()
+        return self.similarity
+
+    def mark_stale(self, state: State) -> None:
+        """Flag a state whose statistics changed since the last solve."""
+        self._stale.add(state)
+
+    def recompute(self) -> None:
+        """Full background refresh: re-solve values, clear staleness."""
+        self.solution = value_iteration(self.mdp, self.rho)
+        self._stale.clear()
+
+    # ------------------------------------------------------------------
+    # Online path
+    # ------------------------------------------------------------------
+    def decide(self, state: State) -> DecisionRecord:
+        """Return the scheduled action for ``state``, measured.
+
+        Known fresh states answer from the solved policy; stale or
+        unknown states borrow from the most similar known state when a
+        similarity index exists, falling back to a one-step greedy
+        choice otherwise.
+        """
+        started = time.perf_counter()
+        self._refinement_sweeps(state)
+
+        source = "exact"
+        surrogate: Optional[State] = None
+        delta = 0.0
+        action: Optional[Action]
+
+        known = state in self.solution.policy
+        fresh = state not in self._stale
+        if known and fresh:
+            action = self.solution.policy[state]
+        elif self.similarity is not None and state in self.similarity.graph._state_index:
+            surrogate, sim = self.similarity.most_similar_state(state)
+            delta = 1.0 - sim
+            action = self.solution.policy.get(surrogate)
+            if action is not None and action not in self.mdp.available_actions(state):
+                action = self._greedy(state)
+                source = "fallback"
+            else:
+                source = "similar"
+        else:
+            action = self._greedy(state)
+            source = "fallback"
+
+        latency_us = (time.perf_counter() - started) * 1e6
+        record = DecisionRecord(state, action, source, surrogate, delta, latency_us)
+        self.decisions.append(record)
+        return record
+
+    def mean_latency_us(self) -> float:
+        """Average measured decision latency (Figure 16's y-axis)."""
+        if not self.decisions:
+            return 0.0
+        return sum(d.latency_us for d in self.decisions) / len(self.decisions)
+
+    def refinement_sweep_count(self) -> int:
+        """Bellman sweeps per decision implied by (rho, precision).
+
+        Value iteration needs about ``ln(1/eps) / (1 - rho)`` sweeps to
+        reach precision eps; divided by the device's compute speed.
+        This is the knob behind the Figure 16 overhead curve.
+        """
+        sweeps = math.log(1.0 / self.precision) / max(1.0 - self.rho, 1e-6)
+        return max(1, int(math.ceil(sweeps / self.compute_speed)))
+
+    # ------------------------------------------------------------------
+    def _greedy(self, state: State) -> Optional[Action]:
+        acts = self.mdp.available_actions(state)
+        if not acts:
+            return None
+        return max(acts, key=lambda a: self.mdp.expected_reward(state, a))
+
+    def _refinement_sweeps(self, state: State) -> None:
+        """Run the per-decision local Bellman refinement budget."""
+        sweeps = self.refinement_sweep_count()
+        sweeps = min(sweeps, 5000)
+        values = self.solution.values
+        acts = self.mdp.available_actions(state)
+        if not acts:
+            return
+        for _ in range(sweeps):
+            best = -math.inf
+            for a in acts:
+                q = sum(
+                    p * (self.mdp.reward(state, a, sp) + self.rho * values.get(sp, 0.0))
+                    for sp, p in self.mdp.transitions[(state, a)].items()
+                )
+                if q > best:
+                    best = q
+            values[state] = best

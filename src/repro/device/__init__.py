@@ -1,0 +1,47 @@
+"""Device substrate: power states, power models, profiles, phone."""
+
+from .phone import DemandSlice, Phone, StepOutcome, derive_device_state
+from .power import (
+    CpuPowerModel,
+    PAPER_STATE_POWER_MW,
+    ScreenPowerModel,
+    StatePowerTable,
+    WifiPowerModel,
+)
+from .profiles import HONOR, LENOVO, NEXUS, PHONES, PhoneProfile
+from .states import (
+    CpuState,
+    DeviceState,
+    ScreenState,
+    TecState,
+    WifiState,
+    enumerate_states,
+)
+from .syscalls import Syscall, SyscallClass, SyscallVocabulary, default_vocabulary
+
+__all__ = [
+    "DemandSlice",
+    "Phone",
+    "StepOutcome",
+    "derive_device_state",
+    "CpuPowerModel",
+    "PAPER_STATE_POWER_MW",
+    "ScreenPowerModel",
+    "StatePowerTable",
+    "WifiPowerModel",
+    "HONOR",
+    "LENOVO",
+    "NEXUS",
+    "PHONES",
+    "PhoneProfile",
+    "CpuState",
+    "DeviceState",
+    "ScreenState",
+    "TecState",
+    "WifiState",
+    "enumerate_states",
+    "Syscall",
+    "SyscallClass",
+    "SyscallVocabulary",
+    "default_vocabulary",
+]

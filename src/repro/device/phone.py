@@ -1,0 +1,246 @@
+"""The assembled phone: profile + power models + thermal + TEC + pack.
+
+:class:`Phone` is the physical plant the scheduler acts on.  Each
+control step it takes a :class:`DemandSlice` (what the workload wants
+for the next ``dt`` seconds), computes the electrical demand with the
+Table II models, draws it from the battery pack, injects the resulting
+heat into the RC thermal network, and reports what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..battery.pack import BatteryPack, BigLittlePack, PackDraw
+from ..battery.switch import BatterySelection
+from ..thermal.rc_network import ThermalNetwork, phone_thermal_network
+from ..thermal.tec import TECUnit
+from .profiles import NEXUS, PhoneProfile
+from .states import CpuState, DeviceState, ScreenState, TecState, WifiState
+
+__all__ = ["DemandSlice", "StepOutcome", "Phone", "derive_device_state"]
+
+
+@dataclass(frozen=True)
+class DemandSlice:
+    """What the workload asks of the hardware for one interval.
+
+    A slice is *demand*, not state: the phone turns it into component
+    power states and watts.
+    """
+
+    #: CPU utilisation percentage in [0, 100].
+    cpu_util: float = 0.0
+    #: CPU frequency index into the profile's frequency list.
+    freq_index: int = 0
+    #: Whether the panel is lit.
+    screen_on: bool = False
+    #: Panel brightness in [0, 255] (ignored when off).
+    brightness: int = 180
+    #: Network packet rate in kB/s.
+    wifi_kbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_util <= 100.0:
+            raise ValueError("cpu_util must lie in [0, 100]")
+        if self.wifi_kbps < 0:
+            raise ValueError("wifi_kbps must be non-negative")
+        if not 0 <= self.brightness <= 255:
+            raise ValueError("brightness must lie in [0, 255]")
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Everything observable after one phone step."""
+
+    #: Electrical power demanded, including TEC drive (W).
+    demand_w: float
+    #: Energy actually delivered by the pack (J).
+    energy_j: float
+    #: Rail voltage (V).
+    voltage_v: float
+    #: True when the pack could not meet the demand (end of cycle).
+    shortfall: bool
+    #: Which battery served the step (None on single packs).
+    served_by: Optional[BatterySelection]
+    #: CPU hot-spot temperature after the step (degC).
+    cpu_temp_c: float
+    #: Surface temperature after the step (degC).
+    surface_temp_c: float
+    #: Battery-region temperature after the step (degC).
+    battery_temp_c: float
+    #: The device state the slice mapped to.
+    device_state: DeviceState
+
+
+def derive_device_state(
+    demand: DemandSlice,
+    tec_on: bool,
+    battery: BatterySelection,
+    wifi_threshold_kbps: float = 100.0,
+) -> DeviceState:
+    """Map a demand slice onto the Figure 7 power-state vector.
+
+    CPU: sleeping when idle and dark; C2/C1/C0 by rising utilisation.
+    WiFi: idle / access / send by packet rate around the Table II
+    threshold.  TEC and battery are taken from the actuators.
+    """
+    if demand.cpu_util <= 0.5 and not demand.screen_on and demand.wifi_kbps <= 0.0:
+        cpu = CpuState.SLEEP
+    elif demand.cpu_util < 30.0:
+        cpu = CpuState.C2
+    elif demand.cpu_util < 70.0:
+        cpu = CpuState.C1
+    else:
+        cpu = CpuState.C0
+    screen = ScreenState.ON if demand.screen_on else ScreenState.OFF
+    if demand.wifi_kbps <= 0.0:
+        wifi = WifiState.IDLE
+    elif demand.wifi_kbps <= 2.0 * wifi_threshold_kbps:
+        wifi = WifiState.ACCESS
+    else:
+        wifi = WifiState.SEND
+    tec = TecState.ON if tec_on else TecState.OFF
+    return DeviceState(cpu, screen, wifi, tec, battery)
+
+
+class Phone:
+    """A simulated handset.
+
+    Parameters
+    ----------
+    profile:
+        Hardware profile (defaults to the Nexus of Table III).
+    pack:
+        Battery pack; defaults to the paper's NCA+LMO big.LITTLE pack.
+    thermal:
+        RC thermal network; defaults to the 4-node phone network.
+    tec:
+        TEC unit bridging the CPU and surface nodes.
+    ambient_c:
+        Ambient temperature for reporting.
+    """
+
+    def __init__(
+        self,
+        profile: PhoneProfile = NEXUS,
+        pack: Optional[BatteryPack] = None,
+        thermal: Optional[ThermalNetwork] = None,
+        tec: Optional[TECUnit] = None,
+        ambient_c: float = 25.0,
+    ) -> None:
+        self.profile = profile
+        self.pack: BatteryPack = pack if pack is not None else BigLittlePack()
+        self.thermal = thermal if thermal is not None else phone_thermal_network(ambient_c)
+        self.tec = tec if tec is not None else TECUnit()
+        self.ambient_c = ambient_c
+        self.clock_s = 0.0
+        self._last_state: Optional[DeviceState] = None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def cpu_temp_c(self) -> float:
+        """Current CPU hot-spot temperature (degC)."""
+        return self.thermal.temperature("cpu")
+
+    @property
+    def surface_temp_c(self) -> float:
+        """Current surface temperature (degC)."""
+        return self.thermal.temperature("surface")
+
+    @property
+    def active_battery(self) -> Optional[BatterySelection]:
+        """Currently selected battery (None for single packs)."""
+        if isinstance(self.pack, BigLittlePack):
+            return self.pack.active
+        return None
+
+    @property
+    def depleted(self) -> bool:
+        """True once the pack can no longer serve load."""
+        return self.pack.depleted
+
+    @property
+    def last_device_state(self) -> Optional[DeviceState]:
+        """Device state of the most recent step."""
+        return self._last_state
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def select_battery(self, target: BatterySelection) -> bool:
+        """Route demand to a battery (no-op on single packs)."""
+        if isinstance(self.pack, BigLittlePack):
+            return self.pack.select(target, self.clock_s)
+        return False
+
+    def set_tec(self, on: bool) -> None:
+        """Command the TEC on or off."""
+        self.tec.set_on(on)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def demand_power_w(self, demand: DemandSlice) -> float:
+        """Electrical power the slice implies, excluding the TEC (W)."""
+        p = self.profile
+        freq = min(demand.freq_index, p.n_freqs - 1)
+        if demand.cpu_util <= 0.5 and not demand.screen_on and demand.wifi_kbps <= 0:
+            cpu_mw = p.power_table.cpu_mw[CpuState.SLEEP]
+        else:
+            cpu_mw = p.cpu_model.power_mw(demand.cpu_util, freq)
+        screen_mw = p.screen_model.power_mw(demand.brightness, on=demand.screen_on)
+        wifi_mw = p.wifi_model.power_mw(demand.wifi_kbps)
+        return (cpu_mw + screen_mw + wifi_mw) / 1000.0
+
+    def step(self, demand: DemandSlice, dt: float) -> StepOutcome:
+        """Advance the plant ``dt`` seconds under a demand slice."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+
+        base_w = self.demand_power_w(demand)
+        total_w = base_w + self.tec.power_w()
+
+        draw: PackDraw = self.pack.draw(total_w, dt, self.clock_s)
+
+        # Heat routing: CPU compute heats the hot spot; panel and radio
+        # heat spreads on the surface; battery losses heat the pack bay.
+        p = self.profile
+        freq = min(demand.freq_index, p.n_freqs - 1)
+        if demand.cpu_util <= 0.5 and not demand.screen_on and demand.wifi_kbps <= 0:
+            cpu_w = p.power_table.cpu_mw[CpuState.SLEEP] / 1000.0
+        else:
+            cpu_w = p.cpu_model.power_mw(demand.cpu_util, freq) / 1000.0
+        other_w = max(0.0, base_w - cpu_w)
+        injections: Dict[str, float] = {
+            "cpu": cpu_w,
+            "surface": other_w * 0.6,
+            "battery": draw.heat_j / dt,
+        }
+        tec_flows = self.tec.heat_flows(dt, self.cpu_temp_c, self.surface_temp_c)
+        for node, watts in tec_flows.items():
+            injections[node] = injections.get(node, 0.0) + watts
+        self.thermal.step(dt, injections)
+
+        self.pack.set_temperature(self.thermal.temperature("battery"))
+        self.clock_s += dt
+
+        battery = self.active_battery or BatterySelection.BIG
+        state = derive_device_state(
+            demand, self.tec.is_on, battery, p.wifi_model.threshold_kbps
+        )
+        self._last_state = state
+        return StepOutcome(
+            demand_w=total_w,
+            energy_j=draw.energy_j,
+            voltage_v=draw.voltage_v,
+            shortfall=draw.shortfall,
+            served_by=draw.served_by,
+            cpu_temp_c=self.cpu_temp_c,
+            surface_temp_c=self.surface_temp_c,
+            battery_temp_c=self.thermal.temperature("battery"),
+            device_state=state,
+        )

@@ -1,0 +1,160 @@
+"""Component power models (paper Table II) and the state power table
+(paper Table III).
+
+Table II gives the parametric models:
+
+* CPU:    ``P = gamma_freq * u + C``        (linear in utilisation)
+* Screen: ``P = (alpha_b + alpha_w)/2 * B + C``  (linear in brightness)
+* WiFi:   piecewise linear in packet rate with threshold ``t``
+* TEC:    ``P = alpha * I * dT + I^2 R``    (see :mod:`repro.thermal.tec`)
+
+Table III gives the measured average per-state powers that anchor the
+models for the tested phones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from .states import CpuState, DeviceState, ScreenState, TecState, WifiState
+
+__all__ = [
+    "CpuPowerModel",
+    "ScreenPowerModel",
+    "WifiPowerModel",
+    "StatePowerTable",
+    "PAPER_STATE_POWER_MW",
+]
+
+#: Paper Table III: average power (mW) of every hardware state.
+PAPER_STATE_POWER_MW: Dict[str, Dict[str, float]] = {
+    "cpu": {"C0": 612.0, "C1": 462.0, "C2": 310.0, "sleep": 55.0},
+    "screen": {"off": 22.0, "on": 790.0},
+    "wifi": {"idle": 60.0, "access": 1284.0, "send": 1548.0},
+    "tec": {"off": 0.0, "on": 29.17},
+}
+
+
+@dataclass(frozen=True)
+class CpuPowerModel:
+    """``P = gamma[freq] * u + C`` with utilisation ``u`` in [0, 100].
+
+    ``gamma_by_freq`` holds one slope per frequency index (Table II's
+    ``freq = 0, 1, ..., n``).
+    """
+
+    gamma_by_freq: Sequence[float] = (2.2, 3.4, 5.0)
+    constant_mw: float = 55.0
+
+    def power_mw(self, utilization: float, freq_index: int = 0) -> float:
+        """Power at a utilisation percentage and frequency index (mW)."""
+        if not 0.0 <= utilization <= 100.0:
+            raise ValueError("utilization must lie in [0, 100]")
+        if not 0 <= freq_index < len(self.gamma_by_freq):
+            raise ValueError(f"freq_index {freq_index} out of range")
+        return self.gamma_by_freq[freq_index] * utilization + self.constant_mw
+
+    @property
+    def n_freqs(self) -> int:
+        """Number of available frequency levels."""
+        return len(self.gamma_by_freq)
+
+
+@dataclass(frozen=True)
+class ScreenPowerModel:
+    """``P = (alpha_b + alpha_w)/2 * B_level + C`` with B in [0, 255]."""
+
+    alpha_black: float = 2.0
+    alpha_white: float = 4.0
+    constant_mw: float = 22.0
+
+    def power_mw(self, brightness: int, on: bool = True) -> float:
+        """Panel power at a brightness level (mW)."""
+        if not on:
+            return self.constant_mw
+        if not 0 <= brightness <= 255:
+            raise ValueError("brightness must lie in [0, 255]")
+        slope = 0.5 * (self.alpha_black + self.alpha_white)
+        return slope * brightness + self.constant_mw
+
+
+@dataclass(frozen=True)
+class WifiPowerModel:
+    """Piecewise-linear WiFi model with packet-rate threshold ``t``.
+
+    Below the threshold (light traffic) the low-slope regime applies;
+    above it the radio enters the high-power regime.  The paper uses a
+    100 kB/s threshold on Android 5.0.1.
+    """
+
+    gamma_low: float = 2.4
+    gamma_high: float = 4.6
+    constant_low_mw: float = 60.0
+    constant_high_mw: float = 824.0
+    threshold_kbps: float = 100.0
+
+    def power_mw(self, packet_rate_kbps: float) -> float:
+        """Radio power at a packet rate (mW)."""
+        if packet_rate_kbps < 0:
+            raise ValueError("packet rate must be non-negative")
+        if packet_rate_kbps <= self.threshold_kbps:
+            return self.gamma_low * packet_rate_kbps + self.constant_low_mw
+        return self.gamma_high * (packet_rate_kbps - self.threshold_kbps) + self.constant_high_mw
+
+
+@dataclass
+class StatePowerTable:
+    """Average power of every component state (Table III), in mW.
+
+    This is the coarse per-state bookkeeping the MDP rewards are
+    computed against; the parametric Table II models refine within a
+    state (utilisation, brightness, packet rate).
+    """
+
+    cpu_mw: Dict[CpuState, float] = field(default_factory=lambda: {
+        CpuState.C0: PAPER_STATE_POWER_MW["cpu"]["C0"],
+        CpuState.C1: PAPER_STATE_POWER_MW["cpu"]["C1"],
+        CpuState.C2: PAPER_STATE_POWER_MW["cpu"]["C2"],
+        CpuState.SLEEP: PAPER_STATE_POWER_MW["cpu"]["sleep"],
+    })
+    screen_mw: Dict[ScreenState, float] = field(default_factory=lambda: {
+        ScreenState.OFF: PAPER_STATE_POWER_MW["screen"]["off"],
+        ScreenState.ON: PAPER_STATE_POWER_MW["screen"]["on"],
+    })
+    wifi_mw: Dict[WifiState, float] = field(default_factory=lambda: {
+        WifiState.IDLE: PAPER_STATE_POWER_MW["wifi"]["idle"],
+        WifiState.ACCESS: PAPER_STATE_POWER_MW["wifi"]["access"],
+        WifiState.SEND: PAPER_STATE_POWER_MW["wifi"]["send"],
+    })
+    tec_mw: Dict[TecState, float] = field(default_factory=lambda: {
+        TecState.OFF: PAPER_STATE_POWER_MW["tec"]["off"],
+        TecState.ON: PAPER_STATE_POWER_MW["tec"]["on"],
+    })
+
+    def scaled(self, factor: float) -> "StatePowerTable":
+        """A copy with all component powers scaled by ``factor``.
+
+        Used to derive the Honor/Lenovo profiles from the Nexus table.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return StatePowerTable(
+            cpu_mw={k: v * factor for k, v in self.cpu_mw.items()},
+            screen_mw={k: v * factor for k, v in self.screen_mw.items()},
+            wifi_mw={k: v * factor for k, v in self.wifi_mw.items()},
+            tec_mw=dict(self.tec_mw),
+        )
+
+    def state_power_mw(self, state: DeviceState) -> float:
+        """Total average power of a device state vector (mW)."""
+        return (
+            self.cpu_mw[state.cpu]
+            + self.screen_mw[state.screen]
+            + self.wifi_mw[state.wifi]
+            + self.tec_mw[state.tec]
+        )
+
+    def state_power_w(self, state: DeviceState) -> float:
+        """Total average power of a device state vector (W)."""
+        return self.state_power_mw(state) / 1000.0

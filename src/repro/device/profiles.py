@@ -1,0 +1,101 @@
+"""Phone hardware profiles (paper Section V, Table III).
+
+The paper prototypes CAPMAN on three phones -- Nexus, Honor, Lenovo --
+with CPU frequencies from 1040 to 2000 MHz and Android ROMs 5.0-7.1.
+The Table III power numbers are measured on the Nexus; the others are
+derived profiles with different power scale and compute speed (the
+compute speed drives the Figure 16 decision-overhead differences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .power import CpuPowerModel, ScreenPowerModel, StatePowerTable, WifiPowerModel
+
+__all__ = ["PhoneProfile", "NEXUS", "HONOR", "LENOVO", "PHONES"]
+
+
+@dataclass(frozen=True)
+class PhoneProfile:
+    """Static description of one handset.
+
+    Parameters
+    ----------
+    name:
+        Marketing name.
+    cpu_freqs_mhz:
+        Available CPU frequency levels (low to high).
+    android_version:
+        ROM version string (informational).
+    power_table:
+        Table III per-state average powers for this handset.
+    compute_speed:
+        Relative single-core speed; scales the CAPMAN decision latency
+        measured in Figure 16 (1.0 = Nexus).
+    battery_volume_cc:
+        Volume budget available for the battery pack.
+    """
+
+    name: str
+    cpu_freqs_mhz: Tuple[int, ...]
+    android_version: str
+    power_table: StatePowerTable
+    cpu_model: CpuPowerModel
+    screen_model: ScreenPowerModel = field(default_factory=ScreenPowerModel)
+    wifi_model: WifiPowerModel = field(default_factory=WifiPowerModel)
+    compute_speed: float = 1.0
+    battery_volume_cc: float = 18.0
+
+    def __post_init__(self) -> None:
+        if not self.cpu_freqs_mhz:
+            raise ValueError("a profile needs at least one CPU frequency")
+        if self.compute_speed <= 0:
+            raise ValueError("compute_speed must be positive")
+
+    @property
+    def n_freqs(self) -> int:
+        """Number of CPU frequency levels."""
+        return len(self.cpu_freqs_mhz)
+
+
+def _nexus_cpu_model() -> CpuPowerModel:
+    # Slopes anchored so 100% utilisation at each frequency reproduces
+    # the Table III C-state powers (C2=310, C1=462, C0=612 mW) with the
+    # 55 mW sleep floor as the constant term.
+    return CpuPowerModel(gamma_by_freq=(2.55, 4.07, 5.57), constant_mw=55.0)
+
+
+NEXUS = PhoneProfile(
+    name="Nexus",
+    cpu_freqs_mhz=(1040, 1600, 2000),
+    android_version="5.0.1",
+    power_table=StatePowerTable(),
+    cpu_model=_nexus_cpu_model(),
+    compute_speed=1.0,
+    battery_volume_cc=18.0,
+)
+
+HONOR = PhoneProfile(
+    name="Honor",
+    cpu_freqs_mhz=(1100, 1700, 1900),
+    android_version="6.0",
+    power_table=StatePowerTable().scaled(0.92),
+    cpu_model=CpuPowerModel(gamma_by_freq=(2.35, 3.74, 5.12), constant_mw=50.0),
+    compute_speed=1.35,
+    battery_volume_cc=17.0,
+)
+
+LENOVO = PhoneProfile(
+    name="Lenovo",
+    cpu_freqs_mhz=(1040, 1500, 1800),
+    android_version="7.1",
+    power_table=StatePowerTable().scaled(1.08),
+    cpu_model=CpuPowerModel(gamma_by_freq=(2.75, 4.40, 6.02), constant_mw=60.0),
+    compute_speed=1.7,
+    battery_volume_cc=19.0,
+)
+
+#: The tested handsets keyed by name.
+PHONES: Dict[str, PhoneProfile] = {p.name: p for p in (NEXUS, HONOR, LENOVO)}

@@ -1,0 +1,122 @@
+"""Device power states and the combinatorial state vector (paper Fig. 7).
+
+Each hardware component of the phone exposes a small set of power
+states; the MDP state space is the cross product of the component
+states plus the active battery.  The paper reports ~50 state nodes in
+its finite MDP; enumerating the full vector below gives
+``4 * 2 * 3 * 2 * 2 = 96`` raw combinations, of which the reachable
+subset under a workload profile is of that order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator, Tuple
+
+from ..battery.switch import BatterySelection
+
+__all__ = [
+    "CpuState",
+    "ScreenState",
+    "WifiState",
+    "TecState",
+    "DeviceState",
+    "enumerate_states",
+]
+
+
+class CpuState(enum.Enum):
+    """CPU C-states: running levels C0..C2 plus sleep (Table III)."""
+
+    C0 = "C0"
+    C1 = "C1"
+    C2 = "C2"
+    SLEEP = "sleep"
+
+    @property
+    def is_active(self) -> bool:
+        """True for any running C-state."""
+        return self is not CpuState.SLEEP
+
+
+class ScreenState(enum.Enum):
+    """Screen panel state."""
+
+    OFF = "off"
+    ON = "on"
+
+
+class WifiState(enum.Enum):
+    """WiFi radio state (Table III: idle / access / send)."""
+
+    IDLE = "idle"
+    ACCESS = "access"
+    SEND = "send"
+
+
+class TecState(enum.Enum):
+    """Thermoelectric cooler state."""
+
+    OFF = "off"
+    ON = "on"
+
+
+@dataclass(frozen=True)
+class DeviceState:
+    """The full device power-state vector used as an MDP state.
+
+    Hashable and immutable so it can key transition tables.
+    """
+
+    cpu: CpuState = CpuState.SLEEP
+    screen: ScreenState = ScreenState.OFF
+    wifi: WifiState = WifiState.IDLE
+    tec: TecState = TecState.OFF
+    battery: BatterySelection = BatterySelection.BIG
+
+    def with_(self, **changes) -> "DeviceState":
+        """A copy with some components replaced."""
+        return replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        """Compact readable label, e.g. ``C0/on/send/off/LITTLE``."""
+        return "/".join(
+            (
+                self.cpu.value,
+                self.screen.value,
+                self.wifi.value,
+                self.tec.value,
+                self.battery.value,
+            )
+        )
+
+    @property
+    def is_awake(self) -> bool:
+        """True unless the whole device is asleep and dark."""
+        return self.cpu.is_active or self.screen is ScreenState.ON
+
+    def component_tuple(self) -> Tuple[str, str, str, str, str]:
+        """The raw component values, for serialisation."""
+        return (
+            self.cpu.value,
+            self.screen.value,
+            self.wifi.value,
+            self.tec.value,
+            self.battery.value,
+        )
+
+
+def enumerate_states(include_battery: bool = True) -> Iterator[DeviceState]:
+    """Yield every combination of component states.
+
+    With ``include_battery=False`` the battery dimension is fixed to
+    BIG, halving the space (useful for profiling displays).
+    """
+    batteries = list(BatterySelection) if include_battery else [BatterySelection.BIG]
+    for cpu, screen, wifi, tec, batt in itertools.product(
+        CpuState, ScreenState, WifiState, TecState, batteries
+    ):
+        yield DeviceState(cpu, screen, wifi, tec, batt)

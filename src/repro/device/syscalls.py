@@ -1,0 +1,166 @@
+"""System-call / binder-event action vocabulary.
+
+Following Pathak et al. (EuroSys'11), the MDP's actions are system
+calls and binder messages that move devices between power states.  The
+paper records over 200 distinct calls; we generate a structured
+vocabulary of the same order: a set of semantic *classes* (wakeups,
+screen events, network I/O, compute bursts, timers, ...) each expanded
+into numbered concrete calls, plus the effect every class has on the
+device state vector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .states import CpuState, DeviceState, ScreenState, WifiState
+
+__all__ = [
+    "SyscallClass",
+    "Syscall",
+    "SyscallVocabulary",
+    "default_vocabulary",
+]
+
+
+class SyscallClass(enum.Enum):
+    """Semantic classes of system calls relevant to power states."""
+
+    WAKE_UP = "wake_up"              # full wakeup: CPU to C0, screen on
+    SCREEN_ON = "screen_on"
+    SCREEN_OFF = "screen_off"
+    CPU_BOOST = "cpu_boost"          # governor ramps to C0
+    CPU_RELAX = "cpu_relax"          # governor drops a level
+    CPU_IDLE = "cpu_idle"            # enter a deeper C-state
+    SUSPEND = "suspend"              # whole device to sleep
+    NET_CONNECT = "net_connect"      # wifi idle -> access
+    NET_SEND = "net_send"            # wifi -> send
+    NET_DONE = "net_done"            # wifi back to idle
+    TIMER = "timer"                  # periodic housekeeping, no change
+    SENSOR = "sensor"                # sensor read, brief CPU activity
+    BINDER_CALL = "binder_call"      # IPC, brief CPU activity
+    MEDIA_DECODE = "media_decode"    # steady medium compute
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """One concrete call: a class instance with a stable name/id."""
+
+    name: str
+    klass: SyscallClass
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: How each class rewrites the device component states.  ``None``
+#: leaves a component unchanged.
+_EFFECTS: Dict[SyscallClass, Tuple[Optional[CpuState], Optional[ScreenState], Optional[WifiState]]] = {
+    SyscallClass.WAKE_UP: (CpuState.C0, ScreenState.ON, None),
+    SyscallClass.SCREEN_ON: (CpuState.C1, ScreenState.ON, None),
+    SyscallClass.SCREEN_OFF: (None, ScreenState.OFF, None),
+    SyscallClass.CPU_BOOST: (CpuState.C0, None, None),
+    SyscallClass.CPU_RELAX: (CpuState.C1, None, None),
+    SyscallClass.CPU_IDLE: (CpuState.C2, None, None),
+    SyscallClass.SUSPEND: (CpuState.SLEEP, ScreenState.OFF, WifiState.IDLE),
+    SyscallClass.NET_CONNECT: (CpuState.C1, None, WifiState.ACCESS),
+    SyscallClass.NET_SEND: (None, None, WifiState.SEND),
+    SyscallClass.NET_DONE: (None, None, WifiState.IDLE),
+    SyscallClass.TIMER: (None, None, None),
+    SyscallClass.SENSOR: (CpuState.C2, None, None),
+    SyscallClass.BINDER_CALL: (CpuState.C1, None, None),
+    SyscallClass.MEDIA_DECODE: (CpuState.C1, ScreenState.ON, None),
+}
+
+#: Concrete call names per class; expanding these yields a vocabulary
+#: of the ~200-call order the paper records.
+_MEMBERS: Dict[SyscallClass, List[str]] = {
+    SyscallClass.WAKE_UP: ["input_event", "power_key", "alarm_fire", "push_wakeup",
+                           "notification_wake", "usb_attach"],
+    SyscallClass.SCREEN_ON: ["surfaceflinger_on", "display_unblank", "backlight_on",
+                             "doze_exit"],
+    SyscallClass.SCREEN_OFF: ["display_blank", "backlight_off", "doze_enter",
+                              "screen_timeout"],
+    SyscallClass.CPU_BOOST: ["sched_boost", "touch_boost", "app_launch", "gc_burst",
+                             "jit_compile", "render_frame", "game_tick", "ml_infer"],
+    SyscallClass.CPU_RELAX: ["governor_down", "frame_done", "vsync_idle"],
+    SyscallClass.CPU_IDLE: ["cpuidle_enter", "tickless_idle", "cluster_gate"],
+    SyscallClass.SUSPEND: ["autosleep", "pm_suspend", "lid_close"],
+    SyscallClass.NET_CONNECT: ["socket_connect", "dns_resolve", "tls_handshake",
+                               "wifi_assoc", "http_get"],
+    SyscallClass.NET_SEND: ["send_burst", "upload_chunk", "stream_fetch", "sync_push",
+                            "ota_download"],
+    SyscallClass.NET_DONE: ["socket_close", "radio_tail_end", "sync_done"],
+    SyscallClass.TIMER: ["hrtimer_tick", "watchdog_pet", "cron_job", "jiffy_update"],
+    SyscallClass.SENSOR: ["accel_read", "gyro_read", "light_sense", "gps_fix",
+                          "proximity_poll"],
+    SyscallClass.BINDER_CALL: ["binder_txn", "ams_call", "wms_relayout", "pm_query",
+                               "content_resolve", "intent_broadcast"],
+    SyscallClass.MEDIA_DECODE: ["codec_frame", "audio_mix", "video_decode",
+                                "display_compose"],
+}
+
+
+class SyscallVocabulary:
+    """The action alphabet of the MDP.
+
+    Expands each semantic class into ``variants_per_name`` numbered
+    concrete calls (default sizing yields >200 actions, matching the
+    paper's reported cardinality) and maps every call to its effect on
+    the device state vector.
+    """
+
+    def __init__(self, variants_per_name: int = 3) -> None:
+        if variants_per_name < 1:
+            raise ValueError("variants_per_name must be >= 1")
+        self._calls: List[Syscall] = []
+        self._by_name: Dict[str, Syscall] = {}
+        for klass, names in _MEMBERS.items():
+            for base in names:
+                for i in range(variants_per_name):
+                    name = base if i == 0 else f"{base}_{i}"
+                    call = Syscall(name, klass)
+                    self._calls.append(call)
+                    self._by_name[name] = call
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+    def __iter__(self):
+        return iter(self._calls)
+
+    def lookup(self, name: str) -> Syscall:
+        """Find a call by name; raises KeyError if unknown."""
+        return self._by_name[name]
+
+    def calls_of(self, klass: SyscallClass) -> List[Syscall]:
+        """All concrete calls of a semantic class."""
+        return [c for c in self._calls if c.klass is klass]
+
+    def representative(self, klass: SyscallClass) -> Syscall:
+        """The first (canonical) call of a class."""
+        return self.calls_of(klass)[0]
+
+    @staticmethod
+    def apply(call: Syscall, state: DeviceState) -> DeviceState:
+        """The device state after a call fires (battery/TEC untouched)."""
+        cpu, screen, wifi = _EFFECTS[call.klass]
+        changes = {}
+        if cpu is not None:
+            changes["cpu"] = cpu
+        if screen is not None:
+            changes["screen"] = screen
+        if wifi is not None:
+            changes["wifi"] = wifi
+        return state.with_(**changes) if changes else state
+
+
+def default_vocabulary() -> SyscallVocabulary:
+    """The standard >200-call vocabulary used across the library.
+
+    Four numbered variants per base name yield 252 concrete calls --
+    the same order as the paper's "over 200 system calls recorded".
+    """
+    return SyscallVocabulary(variants_per_name=4)

@@ -1,0 +1,26 @@
+"""Simulation engine: control stepping, metrics, discharge cycles,
+multi-day discharge/charge/aging runs."""
+
+from .daily import DayRecord, MultiDayResult, run_days
+from .discharge import (
+    DischargeResult,
+    PolicyContext,
+    SchedulingPolicy,
+    run_discharge_cycle,
+)
+from .engine import ControlStep, iter_control_steps
+from .metrics import MetricsRecorder, TimeSeries
+
+__all__ = [
+    "DayRecord",
+    "MultiDayResult",
+    "run_days",
+    "DischargeResult",
+    "PolicyContext",
+    "SchedulingPolicy",
+    "run_discharge_cycle",
+    "ControlStep",
+    "iter_control_steps",
+    "MetricsRecorder",
+    "TimeSeries",
+]

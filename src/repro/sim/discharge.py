@@ -1,0 +1,233 @@
+"""The one-discharge-cycle experiment (paper Figure 12's harness).
+
+``run_discharge_cycle`` replays a workload trace on a phone until the
+battery pack can no longer serve demand, letting a scheduling policy
+choose the battery each control step and a thermostat drive the TEC.
+The returned :class:`DischargeResult` carries everything the paper's
+evaluation figures plot: service time, energy, SoC / temperature /
+power traces, switch counts and battery activation ratios.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..battery.pack import BatteryPack, BigLittlePack
+from ..battery.switch import BatterySelection
+from ..device.phone import DemandSlice, Phone, StepOutcome
+from ..device.profiles import NEXUS, PhoneProfile
+from ..device.syscalls import Syscall
+from ..thermal.hotspot import HOT_SPOT_THRESHOLD_C, ThermostatController
+from ..thermal.tec import TECUnit
+from ..workload.traces import Trace
+from .engine import iter_control_steps
+from .metrics import MetricsRecorder
+
+__all__ = [
+    "PolicyContext",
+    "SchedulingPolicy",
+    "DischargeResult",
+    "run_discharge_cycle",
+]
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a scheduling policy may observe at a decision point."""
+
+    now_s: float
+    demand: DemandSlice
+    #: The system call opening this segment (None mid-segment).
+    syscall: Optional[Syscall]
+    #: The phone's estimate of upcoming electrical demand (W).
+    predicted_power_w: float
+    cpu_temp_c: float
+    surface_temp_c: float
+    #: SoCs; for single packs both carry the lone cell's SoC.
+    soc_big: float
+    soc_little: float
+    active: BatterySelection
+    #: True on the first control step of a workload segment.
+    segment_start: bool
+
+
+class SchedulingPolicy(abc.ABC):
+    """A battery-scheduling policy under evaluation.
+
+    Subclasses supply the pack they run on (so ``Practice`` can use a
+    single battery), whether they operate a TEC, and the per-step
+    battery decision.
+    """
+
+    name: str = "policy"
+    #: Whether the harness runs the 45 degC thermostat + TEC for us.
+    uses_tec: bool = False
+
+    @abc.abstractmethod
+    def build_pack(self) -> BatteryPack:
+        """A fresh pack for a new discharge cycle."""
+
+    def on_cycle_start(self, trace: Trace, phone: Phone) -> None:
+        """Hook before the first step (Oracle studies the trace here)."""
+
+    @abc.abstractmethod
+    def decide_battery(self, ctx: PolicyContext) -> Optional[BatterySelection]:
+        """The battery to use next; None keeps the current selection."""
+
+
+@dataclass
+class DischargeResult:
+    """Measured outcome of one discharge cycle."""
+
+    policy_name: str
+    workload_name: str
+    #: How long the phone kept serving demand (s) -- the headline metric.
+    service_time_s: float
+    #: Total energy delivered to the load (J).
+    energy_delivered_j: float
+    #: Battery switch events committed.
+    switch_count: int
+    #: Activation time per battery (s).
+    big_time_s: float
+    little_time_s: float
+    #: TEC bookkeeping.
+    tec_on_time_s: float
+    tec_energy_j: float
+    #: Thermal summary.
+    max_cpu_temp_c: float
+    time_above_threshold_s: float
+    #: Recorded traces (downsampled): soc, cpu_temp, power, voltage.
+    metrics: MetricsRecorder = field(repr=False, default_factory=MetricsRecorder)
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average delivered power over the cycle (W)."""
+        if self.service_time_s <= 0:
+            return 0.0
+        return self.energy_delivered_j / self.service_time_s
+
+    @property
+    def little_ratio(self) -> float:
+        """LITTLE activation share of total battery time (Figure 14 x-axis)."""
+        total = self.big_time_s + self.little_time_s
+        return self.little_time_s / total if total > 0 else 0.0
+
+
+def run_discharge_cycle(
+    policy: SchedulingPolicy,
+    trace: Trace,
+    profile: PhoneProfile = NEXUS,
+    control_dt: float = 1.0,
+    max_duration_s: float = 3.0 * 3600.0,
+    ambient_c: float = 25.0,
+    tec_threshold_c: float = HOT_SPOT_THRESHOLD_C,
+    record_every: int = 1,
+    brownout_limit: int = 3,
+) -> DischargeResult:
+    """Drive one full discharge cycle of ``policy`` over ``trace``.
+
+    The trace loops until the pack can no longer serve demand or
+    ``max_duration_s`` elapses.  A *brownout* is a control step whose
+    delivered energy falls measurably short of demand (the supply rail
+    collapsed mid-step); after ``brownout_limit`` brownouts the phone
+    is dead and the cycle ends -- a pack cannot inflate its service
+    time by limping along on partial service.  ``record_every`` thins
+    metric recording for long runs.
+    """
+    pack = policy.build_pack()
+    phone = Phone(profile=profile, pack=pack, ambient_c=ambient_c)
+    thermostat = ThermostatController(threshold_c=tec_threshold_c)
+    metrics = MetricsRecorder()
+    policy.on_cycle_start(trace, phone)
+
+    def looped_segments():
+        while True:
+            for seg in trace:
+                yield seg
+
+    service_time = 0.0
+    energy = 0.0
+    big_time = 0.0
+    little_time = 0.0
+    hot_time = 0.0
+    max_temp = ambient_c
+    step_index = 0
+    brownouts = 0
+
+    for step in iter_control_steps(looped_segments(), control_dt, max_duration_s):
+        demand = step.segment.demand
+        predicted_w = phone.demand_power_w(demand)
+        soc_big, soc_little = _pack_socs(pack)
+        ctx = PolicyContext(
+            now_s=step.start_s,
+            demand=demand,
+            syscall=step.syscall,
+            predicted_power_w=predicted_w,
+            cpu_temp_c=phone.cpu_temp_c,
+            surface_temp_c=phone.surface_temp_c,
+            soc_big=soc_big,
+            soc_little=soc_little,
+            active=phone.active_battery or BatterySelection.BIG,
+            segment_start=step.segment_start,
+        )
+
+        choice = policy.decide_battery(ctx)
+        if choice is not None:
+            phone.select_battery(choice)
+        if policy.uses_tec:
+            phone.set_tec(thermostat.update(phone.cpu_temp_c, step.start_s))
+
+        outcome: StepOutcome = phone.step(demand, step.dt)
+
+        energy += outcome.energy_j
+        if outcome.served_by is BatterySelection.BIG:
+            big_time += step.dt
+        elif outcome.served_by is BatterySelection.LITTLE:
+            little_time += step.dt
+        if outcome.cpu_temp_c > max_temp:
+            max_temp = outcome.cpu_temp_c
+        if outcome.cpu_temp_c >= tec_threshold_c:
+            hot_time += step.dt
+
+        step_index += 1
+        if step_index % record_every == 0:
+            t = step.start_s + step.dt
+            metrics.record("soc", t, pack.state_of_charge)
+            metrics.record("cpu_temp_c", t, outcome.cpu_temp_c)
+            metrics.record("power_w", t, outcome.demand_w)
+            metrics.record("voltage_v", t, outcome.voltage_v)
+
+        service_time = step.start_s + step.dt
+        if outcome.shortfall and pack.depleted:
+            break
+        demanded_j = outcome.demand_w * step.dt
+        if demanded_j > 0 and outcome.energy_j < demanded_j * 0.98:
+            brownouts += 1
+            if brownouts >= brownout_limit:
+                break
+
+    switch_count = pack.switch.switch_count if isinstance(pack, BigLittlePack) else 0
+    tec: TECUnit = phone.tec
+    return DischargeResult(
+        policy_name=policy.name,
+        workload_name=trace.name,
+        service_time_s=service_time,
+        energy_delivered_j=energy,
+        switch_count=switch_count,
+        big_time_s=big_time,
+        little_time_s=little_time,
+        tec_on_time_s=tec.on_time_s,
+        tec_energy_j=tec.energy_used_j,
+        max_cpu_temp_c=max_temp,
+        time_above_threshold_s=hot_time,
+        metrics=metrics,
+    )
+
+
+def _pack_socs(pack: BatteryPack) -> Tuple[float, float]:
+    if isinstance(pack, BigLittlePack):
+        return pack.big.state_of_charge, pack.little.state_of_charge
+    soc = pack.state_of_charge
+    return soc, soc

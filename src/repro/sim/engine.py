@@ -1,0 +1,70 @@
+"""Simulation stepping machinery.
+
+The control loop advances in fixed control steps (default 1 s, the
+granularity at which CAPMAN consults its MDP), slicing workload
+segments at step boundaries.  Segment boundaries carry the system-call
+events that constitute MDP actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..device.syscalls import Syscall
+from ..workload.base import Segment
+
+__all__ = ["ControlStep", "iter_control_steps"]
+
+
+@dataclass(frozen=True)
+class ControlStep:
+    """One slice of simulated time under a constant demand."""
+
+    #: Simulation time at the start of the step (s).
+    start_s: float
+    #: Step length (s); the tail of a segment may be shorter.
+    dt: float
+    #: The active segment's demand.
+    segment: Segment
+    #: Set on the first step of a segment: the initiating system call.
+    syscall: Optional[Syscall]
+    #: True on the first step of each segment.
+    segment_start: bool
+
+
+def iter_control_steps(
+    segments: Iterable[Segment],
+    control_dt: float = 1.0,
+    max_duration_s: Optional[float] = None,
+) -> Iterator[ControlStep]:
+    """Slice a segment stream into bounded control steps.
+
+    Each segment is cut into ``control_dt`` pieces (final piece takes
+    the remainder).  Iteration stops when the stream ends or
+    ``max_duration_s`` is reached.
+    """
+    if control_dt <= 0:
+        raise ValueError("control_dt must be positive")
+    now = 0.0
+    for segment in segments:
+        remaining = segment.duration_s
+        first = True
+        while remaining > 1e-9:
+            if max_duration_s is not None and now >= max_duration_s:
+                return
+            dt = min(control_dt, remaining)
+            if max_duration_s is not None:
+                dt = min(dt, max_duration_s - now)
+            if dt <= 0:
+                return
+            yield ControlStep(
+                start_s=now,
+                dt=dt,
+                segment=segment,
+                syscall=segment.syscall if first else None,
+                segment_start=first,
+            )
+            now += dt
+            remaining -= dt
+            first = False

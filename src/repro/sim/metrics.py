@@ -1,0 +1,102 @@
+"""Metrics collection for simulation runs.
+
+A :class:`MetricsRecorder` accumulates time series with bounded memory
+(uniform decimation once a cap is hit) plus scalar counters, so long
+discharge cycles stay cheap to record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["TimeSeries", "MetricsRecorder"]
+
+
+@dataclass
+class TimeSeries:
+    """A capped (time, value) series."""
+
+    max_points: int = 4000
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        """Add a sample; decimates by 2 when the cap is exceeded."""
+        self.times.append(t)
+        self.values.append(v)
+        if len(self.times) > self.max_points:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> Tuple[float, float]:
+        """Most recent (time, value) sample."""
+        if not self.times:
+            raise IndexError("empty series")
+        return self.times[-1], self.values[-1]
+
+    def mean(self) -> float:
+        """Unweighted mean of the recorded values."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        if not self.values:
+            raise ValueError("empty series")
+        return max(self.values)
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the gaps between samples."""
+        if len(self.times) < 2:
+            return self.mean()
+        total = 0.0
+        span = 0.0
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            total += self.values[i] * dt
+            span += dt
+        return total / span if span > 0 else self.mean()
+
+
+class MetricsRecorder:
+    """Named time series plus counters."""
+
+    def __init__(self, max_points: int = 4000) -> None:
+        self._max_points = max_points
+        self._series: Dict[str, TimeSeries] = {}
+        self._counters: Dict[str, float] = {}
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append a sample to a named series."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(self._max_points)
+            self._series[name] = series
+        series.append(t, value)
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def series(self, name: str) -> TimeSeries:
+        """Fetch a series (raises KeyError if never recorded)."""
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        """Whether a series exists."""
+        return name in self._series
+
+    def counter(self, name: str) -> float:
+        """Fetch a counter, defaulting to 0."""
+        return self._counters.get(name, 0.0)
+
+    @property
+    def series_names(self) -> List[str]:
+        """Names of all recorded series."""
+        return list(self._series)

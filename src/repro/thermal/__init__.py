@@ -1,0 +1,16 @@
+"""Thermal substrate: RC network, TEC model, hot-spot control."""
+
+from .hotspot import HOT_SPOT_THRESHOLD_C, ThermostatController, hot_spot_fraction
+from .rc_network import ThermalNetwork, ThermalNode, phone_thermal_network
+from .tec import TECModel, TECUnit
+
+__all__ = [
+    "HOT_SPOT_THRESHOLD_C",
+    "ThermostatController",
+    "hot_spot_fraction",
+    "ThermalNetwork",
+    "ThermalNode",
+    "phone_thermal_network",
+    "TECModel",
+    "TECUnit",
+]

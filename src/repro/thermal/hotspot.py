@@ -1,0 +1,67 @@
+"""Hot-spot policy: the 45 degC threshold controller for the TEC.
+
+The paper defines a hot spot as surface temperature exceeding 45 degC
+(Wienert et al.) and powers the TEC directly from the switch facility
+whenever the monitored spot crosses that threshold.  We add a small
+hysteresis band so the controller does not chatter around the
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["HOT_SPOT_THRESHOLD_C", "ThermostatController", "hot_spot_fraction"]
+
+#: The paper's hot-spot definition (degC).
+HOT_SPOT_THRESHOLD_C = 45.0
+
+
+@dataclass
+class ThermostatController:
+    """On/off thermostat with hysteresis.
+
+    Turns the TEC on when the watched temperature rises to
+    ``threshold_c`` and off once it falls below
+    ``threshold_c - hysteresis_k``.
+    """
+
+    threshold_c: float = HOT_SPOT_THRESHOLD_C
+    hysteresis_k: float = 2.0
+
+    _on: bool = field(init=False, default=False, repr=False)
+    _transitions: List[Tuple[float, bool]] = field(init=False, default_factory=list,
+                                                   repr=False)
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_k < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+    @property
+    def is_on(self) -> bool:
+        """Current commanded state."""
+        return self._on
+
+    @property
+    def transitions(self) -> Tuple[Tuple[float, bool], ...]:
+        """Log of (time, new_state) switching decisions."""
+        return tuple(self._transitions)
+
+    def update(self, temperature_c: float, now_s: float = 0.0) -> bool:
+        """Feed a temperature sample; returns the commanded state."""
+        if not self._on and temperature_c >= self.threshold_c:
+            self._on = True
+            self._transitions.append((now_s, True))
+        elif self._on and temperature_c < self.threshold_c - self.hysteresis_k:
+            self._on = False
+            self._transitions.append((now_s, False))
+        return self._on
+
+
+def hot_spot_fraction(temps_c: List[float], threshold_c: float = HOT_SPOT_THRESHOLD_C) -> float:
+    """Fraction of samples at or above the hot-spot threshold."""
+    if not temps_c:
+        return 0.0
+    hot = sum(1 for t in temps_c if t >= threshold_c)
+    return hot / len(temps_c)

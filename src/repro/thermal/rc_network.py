@@ -1,0 +1,171 @@
+"""Lumped-parameter RC thermal network for a smartphone body.
+
+Substitute for the physical thermal environment of the paper's testbed
+(DESIGN.md substitution table).  Each node has a heat capacity; nodes
+are linked by thermal conductances; one boundary node (ambient) is held
+at fixed temperature.  Heat injected at the CPU node by compute load,
+at the battery node by internal losses, and *pumped* between nodes by
+the TEC, produces the hot-spot dynamics of paper Figure 6 (top).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["ThermalNode", "ThermalNetwork", "phone_thermal_network"]
+
+
+@dataclass
+class ThermalNode:
+    """One lumped thermal mass.
+
+    Parameters
+    ----------
+    name:
+        Node identifier.
+    heat_capacity:
+        Thermal capacitance in J/K.  ``math.inf`` makes the node a
+        fixed-temperature boundary (e.g. ambient).
+    temperature_c:
+        Initial temperature in Celsius.
+    """
+
+    name: str
+    heat_capacity: float
+    temperature_c: float = 25.0
+
+    @property
+    def is_boundary(self) -> bool:
+        """True for fixed-temperature (infinite-capacity) nodes."""
+        return math.isinf(self.heat_capacity)
+
+
+class ThermalNetwork:
+    """A graph of thermal nodes with conductive links.
+
+    Temperatures advance by explicit Euler with automatic substepping
+    chosen from the fastest RC time constant, so the integration is
+    stable for any caller-supplied ``dt``.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, ThermalNode] = {}
+        self._links: List[Tuple[str, str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: ThermalNode) -> None:
+        """Register a node; names must be unique."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate thermal node {node.name!r}")
+        if node.heat_capacity <= 0:
+            raise ValueError("heat capacity must be positive")
+        self._nodes[node.name] = node
+
+    def link(self, a: str, b: str, conductance_w_per_k: float) -> None:
+        """Connect two nodes with a thermal conductance (W/K)."""
+        if conductance_w_per_k <= 0:
+            raise ValueError("conductance must be positive")
+        for name in (a, b):
+            if name not in self._nodes:
+                raise KeyError(f"unknown thermal node {name!r}")
+        self._links.append((a, b, conductance_w_per_k))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def temperature(self, name: str) -> float:
+        """Current temperature of a node (degC)."""
+        return self._nodes[name].temperature_c
+
+    def temperatures(self) -> Dict[str, float]:
+        """Snapshot of all node temperatures."""
+        return {n.name: n.temperature_c for n in self._nodes.values()}
+
+    def set_temperature(self, name: str, temp_c: float) -> None:
+        """Force a node temperature (mostly for boundaries/tests)."""
+        self._nodes[name].temperature_c = temp_c
+
+    @property
+    def node_names(self) -> List[str]:
+        """Names of all registered nodes."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, dt: float, injections_w: Mapping[str, float]) -> Dict[str, float]:
+        """Advance ``dt`` seconds with per-node heat injections (W).
+
+        Negative injections remove heat (a TEC's cold side).  Returns
+        the post-step temperature snapshot.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for name in injections_w:
+            if name not in self._nodes:
+                raise KeyError(f"unknown thermal node {name!r}")
+
+        sub = self._stable_substep()
+        steps = max(1, int(math.ceil(dt / sub)))
+        steps = min(steps, 100_000)
+        h = dt / steps
+        for _ in range(steps):
+            flows: Dict[str, float] = {name: injections_w.get(name, 0.0)
+                                       for name in self._nodes}
+            for a, b, g in self._links:
+                ta = self._nodes[a].temperature_c
+                tb = self._nodes[b].temperature_c
+                q = g * (ta - tb)
+                flows[a] -= q
+                flows[b] += q
+            for name, node in self._nodes.items():
+                if node.is_boundary:
+                    continue
+                node.temperature_c += h * flows[name] / node.heat_capacity
+        return self.temperatures()
+
+    def _stable_substep(self) -> float:
+        """A timestep comfortably below the fastest RC constant."""
+        fastest = math.inf
+        total_g: Dict[str, float] = {name: 0.0 for name in self._nodes}
+        for a, b, g in self._links:
+            total_g[a] += g
+            total_g[b] += g
+        for name, node in self._nodes.items():
+            if node.is_boundary or total_g[name] == 0.0:
+                continue
+            fastest = min(fastest, node.heat_capacity / total_g[name])
+        if math.isinf(fastest):
+            return 1.0
+        return max(fastest * 0.25, 1e-3)
+
+
+def phone_thermal_network(
+    ambient_c: float = 25.0,
+    cpu_capacity: float = 12.0,
+    battery_capacity: float = 60.0,
+    surface_capacity: float = 90.0,
+) -> ThermalNetwork:
+    """Build the standard 4-node phone network used throughout.
+
+    Nodes: ``cpu`` (the hot spot the TEC sits on), ``battery``,
+    ``surface`` (back cover / cooling plate), ``ambient`` (boundary).
+    Conductances are sized so a sustained full-tilt SoC (Table III's
+    ~612 mW C0 draw) settles the CPU die just above the 45 degC
+    hot-spot line with only passive cooling, while moderate loads stay
+    in the 30s -- matching the paper's hot-spot regime.
+    """
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("cpu", cpu_capacity, ambient_c))
+    net.add_node(ThermalNode("battery", battery_capacity, ambient_c))
+    net.add_node(ThermalNode("surface", surface_capacity, ambient_c))
+    net.add_node(ThermalNode("ambient", math.inf, ambient_c))
+    net.link("cpu", "surface", 0.023)
+    net.link("cpu", "battery", 0.008)
+    net.link("battery", "surface", 0.05)
+    net.link("surface", "ambient", 0.35)
+    return net

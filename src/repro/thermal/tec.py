@@ -1,0 +1,175 @@
+"""Thermoelectric cooler (TEC): physics (paper Eq. 1) and actuator.
+
+Two layers:
+
+* :class:`TECModel` -- the physical Peltier model of Eq. (1),
+  ``Qc = S_T * Tc * I - I^2 R / 2 - K (Th - Tc)``, with the electrical
+  power ``P = S_T * I * dT + I^2 R`` (Table II, last row).  It exposes
+  the rated-current analysis behind paper Figure 6: the achievable
+  temperature difference peaks at ``I* = S_T * Tc / R`` (about 1.0 A for
+  the ATE-31-style part), which is why CAPMAN drives the TEC at its
+  rated current rather than proportionally.
+
+* :class:`TECUnit` -- the on/off actuator CAPMAN actually schedules.
+  The paper profiles its chip offline and always powers it at maximum
+  cooling efficiency, booking the measured electrical draw (Table III:
+  29.17 mW) -- so the unit consumes the profiled draw and pumps heat
+  from the CPU node to the surface node at a calibrated rate.  See
+  DESIGN.md for this substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["TECModel", "TECUnit"]
+
+_KELVIN = 273.15
+
+
+@dataclass(frozen=True)
+class TECModel:
+    """Physical Peltier model (paper Eq. 1 and Table II).
+
+    Parameters
+    ----------
+    seebeck_v_per_k:
+        Thermoelectric coefficient ``S_T`` (V/K).
+    resistance_ohm:
+        Electrical resistance ``R`` (ohm).
+    conductance_w_per_k:
+        Thermal conductance ``K`` between the two faces (W/K).
+    """
+
+    seebeck_v_per_k: float = 0.05
+    resistance_ohm: float = 15.0
+    conductance_w_per_k: float = 0.25
+
+    @classmethod
+    def ate31(cls) -> "TECModel":
+        """Constants styled after the ATE-31-2.2A used in the prototype.
+
+        Chosen so the rated operating current lands at ~1.0 A near room
+        temperature, reproducing the peak of paper Figure 6 (bottom).
+        """
+        return cls(seebeck_v_per_k=0.05, resistance_ohm=15.0, conductance_w_per_k=0.25)
+
+    # ------------------------------------------------------------------
+    def heat_pumped_w(self, current_a: float, hot_c: float, cold_c: float) -> float:
+        """``Qc`` of Eq. (1): heat removed from the cold face (W)."""
+        tc = cold_c + _KELVIN
+        return (
+            self.seebeck_v_per_k * tc * current_a
+            - 0.5 * current_a ** 2 * self.resistance_ohm
+            - self.conductance_w_per_k * (hot_c - cold_c)
+        )
+
+    def electrical_power_w(self, current_a: float, hot_c: float, cold_c: float) -> float:
+        """``P = S_T I dT + I^2 R`` (Table II, TEC row), in watts."""
+        dt = hot_c - cold_c
+        return self.seebeck_v_per_k * current_a * dt + current_a ** 2 * self.resistance_ohm
+
+    def max_delta_t(self, current_a: float, cold_c: float = 25.0) -> float:
+        """Steady-state face temperature difference at a given drive.
+
+        Setting ``Qc = 0`` in Eq. (1) gives the largest sustainable
+        ``Th - Tc``; this is the curve of paper Figure 6 (bottom),
+        rising with current, peaking at the rated point, then falling
+        as Joule heating wins.
+        """
+        tc = cold_c + _KELVIN
+        dt = (
+            self.seebeck_v_per_k * tc * current_a
+            - 0.5 * current_a ** 2 * self.resistance_ohm
+        ) / self.conductance_w_per_k
+        return max(0.0, dt)
+
+    def rated_current(self, cold_c: float = 25.0) -> float:
+        """The current maximising :meth:`max_delta_t`: ``S_T Tc / R``."""
+        return self.seebeck_v_per_k * (cold_c + _KELVIN) / self.resistance_ohm
+
+    def delta_t_curve(
+        self, currents: List[float], cold_c: float = 25.0
+    ) -> List[Tuple[float, float]]:
+        """(current, max dT) samples for the Figure 6 sweep."""
+        return [(i, self.max_delta_t(i, cold_c)) for i in currents]
+
+
+@dataclass
+class TECUnit:
+    """On/off TEC actuator placed between two thermal nodes.
+
+    Parameters
+    ----------
+    drive_power_w:
+        Electrical draw while on.  Default is the paper's measured
+        Table III figure (29.17 mW).
+    pump_w:
+        Heat-pump rate from the cold node to the hot node while on,
+        calibrated so the 45 degC hot-spot threshold is holdable.
+    cold_node, hot_node:
+        Thermal-network node names the unit bridges.
+    """
+
+    drive_power_w: float = 0.02917
+    pump_w: float = 0.9
+    cold_node: str = "cpu"
+    hot_node: str = "surface"
+    model: TECModel = field(default_factory=TECModel.ate31)
+
+    _on: bool = field(init=False, default=False, repr=False)
+    _on_time_s: float = field(init=False, default=0.0, repr=False)
+    _energy_j: float = field(init=False, default=0.0, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_on(self) -> bool:
+        """Whether the TEC is currently powered."""
+        return self._on
+
+    @property
+    def on_time_s(self) -> float:
+        """Cumulative powered time (s)."""
+        return self._on_time_s
+
+    @property
+    def energy_used_j(self) -> float:
+        """Cumulative electrical energy drawn (J)."""
+        return self._energy_j
+
+    def set_on(self, on: bool) -> None:
+        """Command the unit on or off."""
+        self._on = on
+
+    def power_w(self) -> float:
+        """Instantaneous electrical draw (W)."""
+        return self.drive_power_w if self._on else 0.0
+
+    def heat_flows(self, dt: float, cold_temp_c: float, hot_temp_c: float):
+        """Per-node heat injections (W) for one step, and bookkeeping.
+
+        Returns a dict suitable for :meth:`ThermalNetwork.step`: while
+        on, ``pump_w`` leaves the cold node and arrives (plus the
+        electrical dissipation) at the hot node.  Pumping throttles off
+        as the cold node approaches ambient so the TEC cannot drive the
+        hot spot arbitrarily cold.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if not self._on:
+            return {}
+        self._on_time_s += dt
+        self._energy_j += self.drive_power_w * dt
+        # Diminishing pumping as the faces diverge (Eq. 1 trend)...
+        efficiency = max(0.2, 1.0 - 0.02 * max(0.0, hot_temp_c - cold_temp_c))
+        pumped = self.pump_w * efficiency
+        # ...and as the cold face approaches ambient: a TEC on a phone
+        # die cannot refrigerate the spot arbitrarily far below it.
+        headroom = max(0.0, min(1.0, (cold_temp_c - 25.0) / 5.0))
+        pumped *= headroom
+        return {
+            self.cold_node: -pumped,
+            self.hot_node: pumped + self.drive_power_w,
+        }

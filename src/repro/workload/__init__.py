@@ -1,0 +1,28 @@
+"""Workload substrate: generators, toggling, traces."""
+
+from .base import Segment, Workload
+from .generators import (
+    EtaStaticWorkload,
+    GeekbenchWorkload,
+    IdleWorkload,
+    PCMarkWorkload,
+    SkewedBurstWorkload,
+    VideoWorkload,
+)
+from .onoff import ScreenToggleWorkload
+from .traces import Trace, TraceWorkload, record_trace
+
+__all__ = [
+    "Segment",
+    "Workload",
+    "EtaStaticWorkload",
+    "GeekbenchWorkload",
+    "IdleWorkload",
+    "PCMarkWorkload",
+    "SkewedBurstWorkload",
+    "VideoWorkload",
+    "ScreenToggleWorkload",
+    "Trace",
+    "TraceWorkload",
+    "record_trace",
+]

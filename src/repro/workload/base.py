@@ -1,0 +1,62 @@
+"""Workload abstractions.
+
+A *workload* is a seeded generator of :class:`Segment` objects -- a
+demand slice held for a duration, tagged with the system call that
+initiated it.  Policies never see the generator directly; experiments
+materialise a :class:`~repro.workload.traces.Trace` once and replay it
+for every policy so comparisons share identical demand.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..device.phone import DemandSlice
+from ..device.syscalls import Syscall
+
+__all__ = ["Segment", "Workload"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One homogeneous stretch of demand."""
+
+    demand: DemandSlice
+    duration_s: float
+    #: The system call / binder event that started this segment (the
+    #: MDP action); None for pure continuations.
+    syscall: Optional[Syscall] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("segment duration must be positive")
+
+
+class Workload(abc.ABC):
+    """Base class for demand generators.
+
+    Subclasses implement :meth:`_generate`; the public API adds
+    seeding.  Generators may be infinite -- consumers bound them by
+    wall-clock duration.
+    """
+
+    name: str = "workload"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def segments(self) -> Iterator[Segment]:
+        """A fresh, reproducible stream of segments."""
+        rng = np.random.default_rng(self.seed)
+        return self._generate(rng)
+
+    @abc.abstractmethod
+    def _generate(self, rng: np.random.Generator) -> Iterator[Segment]:
+        """Yield segments forever (or until the scenario ends)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"

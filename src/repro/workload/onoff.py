@@ -1,0 +1,85 @@
+"""Screen on/off toggling workloads (paper Figure 2(b)).
+
+The paper toggles the phone on and off at frequency scales from once
+per minute down to once per second and finds the NCA (big) chemistry
+always wins the burst, but by a shrinking margin as the toggling
+frequency rises.  :class:`ScreenToggleWorkload` reproduces the
+stimulus; the Figure 2 benchmark sweeps its period.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..device.phone import DemandSlice
+from ..device.syscalls import SyscallClass, default_vocabulary
+from .base import Segment, Workload
+
+__all__ = ["ScreenToggleWorkload"]
+
+
+class ScreenToggleWorkload(Workload):
+    """Wake the phone, hold it on briefly, suspend, repeat.
+
+    Parameters
+    ----------
+    period_s:
+        Full on+off cycle length; 60 is the paper's "each minute",
+        1 its "each second".
+    on_fraction:
+        Share of the period spent awake.
+    wake_util:
+        CPU utilisation of the wake burst (screen redraw, app resume).
+    """
+
+    def __init__(
+        self,
+        period_s: float = 60.0,
+        on_fraction: float = 0.25,
+        wake_util: float = 85.0,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < on_fraction < 1.0:
+            raise ValueError("on_fraction must lie in (0, 1)")
+        super().__init__(seed)
+        self.period_s = period_s
+        self.on_fraction = on_fraction
+        self.wake_util = wake_util
+        self.name = f"ScreenToggle({period_s:g}s)"
+        self._vocab = default_vocabulary()
+
+    def _generate(self, rng: np.random.Generator) -> Iterator[Segment]:
+        v = self._vocab
+        wake = v.representative(SyscallClass.WAKE_UP)
+        off = v.representative(SyscallClass.SCREEN_OFF)
+        suspend = v.representative(SyscallClass.SUSPEND)
+        on_s = self.period_s * self.on_fraction
+        off_s = self.period_s - on_s
+        while True:
+            # Wake burst: the V-edge-triggering surge.
+            burst_s = min(1.0, 0.5 * on_s)
+            util = float(min(100.0, max(0.0, rng.normal(self.wake_util, 5.0))))
+            yield Segment(
+                DemandSlice(cpu_util=util, freq_index=2, screen_on=True,
+                            brightness=180, wifi_kbps=50.0),
+                burst_s,
+                wake,
+            )
+            # Remaining on-time at moderate draw.
+            if on_s - burst_s > 0:
+                yield Segment(
+                    DemandSlice(cpu_util=25.0, freq_index=1, screen_on=True,
+                                brightness=180, wifi_kbps=5.0),
+                    on_s - burst_s,
+                    off,
+                )
+            # Off stretch.
+            yield Segment(
+                DemandSlice(cpu_util=0.0, screen_on=False, wifi_kbps=0.0),
+                off_s,
+                suspend,
+            )

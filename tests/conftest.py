@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Discharge-cycle tests run on deliberately small cells and short traces
+so a full cycle completes in well under a second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import LMO, NCA
+from repro.battery.pack import BigLittlePack
+from repro.core.mdp import random_mdp
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import Trace, record_trace
+
+
+@pytest.fixture
+def small_big_cell() -> Cell:
+    """An NCA (big) cell small enough to drain quickly in tests."""
+    return Cell(NCA, capacity_mah=60.0)
+
+
+@pytest.fixture
+def small_little_cell() -> Cell:
+    """An LMO (LITTLE) cell small enough to drain quickly in tests."""
+    return Cell(LMO, capacity_mah=60.0)
+
+
+@pytest.fixture
+def small_pack(small_big_cell: Cell, small_little_cell: Cell) -> BigLittlePack:
+    """A tiny big.LITTLE pack for fast discharge tests."""
+    return BigLittlePack(big=small_big_cell, little=small_little_cell)
+
+
+@pytest.fixture
+def video_trace() -> Trace:
+    """Five minutes of the Video workload, materialised."""
+    return record_trace(VideoWorkload(seed=7), duration_s=300.0)
+
+
+@pytest.fixture
+def tiny_mdp():
+    """A small random MDP with an absorbing state."""
+    return random_mdp(n_states=6, n_actions=3, branching=2, seed=3, absorbing=1)

@@ -1,0 +1,64 @@
+"""Tests for the CAPMAN actuator."""
+
+import pytest
+
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+from repro.battery.chemistry import LCO
+from repro.battery.switch import BatterySelection
+from repro.capman.actuator import CapmanActuator
+from repro.device.phone import DemandSlice, Phone
+
+
+@pytest.fixture
+def phone():
+    return Phone(pack=BigLittlePack.from_chemistries(
+        *_pair(), capacity_mah=500.0))
+
+
+def _pair():
+    from repro.battery.chemistry import pick_big_little
+
+    return pick_big_little()
+
+
+class TestActuator:
+    def test_requires_big_little_pack(self):
+        single = Phone(pack=SingleBatteryPack.from_chemistry(LCO, 500.0))
+        with pytest.raises(TypeError):
+            CapmanActuator(single)
+
+    def test_apply_switches_battery(self, phone):
+        act = CapmanActuator(phone)
+        assert act.apply(BatterySelection.LITTLE, 1.0)
+        assert act.active is BatterySelection.LITTLE
+        assert act.switch_count == 1
+
+    def test_none_keeps_selection(self, phone):
+        act = CapmanActuator(phone)
+        assert not act.apply(None, 1.0)
+        assert act.switch_count == 0
+
+    def test_tec_triggered_by_temperature(self, phone):
+        act = CapmanActuator(phone)
+        phone.thermal.set_temperature("cpu", 46.0)
+        act.apply(None, 1.0)
+        assert act.tec_is_on
+        assert phone.tec.is_on
+
+    def test_tec_released_below_band(self, phone):
+        act = CapmanActuator(phone)
+        phone.thermal.set_temperature("cpu", 46.0)
+        act.apply(None, 1.0)
+        phone.thermal.set_temperature("cpu", 40.0)
+        act.apply(None, 2.0)
+        assert not act.tec_is_on
+
+    def test_control_signal_reconstructed(self, phone):
+        act = CapmanActuator(phone)
+        act.apply(BatterySelection.LITTLE, 1.0)
+        act.apply(BatterySelection.BIG, 2.0)
+        signal = act.control_signal(t_end=3.0)
+        levels = {v for _, v in signal}
+        assert levels == {3.5, 0.3}
+        assert signal[0][1] == 3.5  # starts on BIG (high)
+        assert signal[-1] == (3.0, 3.5)

@@ -1,0 +1,79 @@
+"""Tests for the cycle-life aging extension."""
+
+import pytest
+
+from repro.battery.aging import AgingModel, CellHealth, project_lifetime
+from repro.battery.chemistry import LTO, NCA, NMC
+
+
+class TestCellHealth:
+    def test_fresh_cell_full_health(self):
+        h = CellHealth(NCA, 2500.0)
+        assert h.health == 1.0
+        assert h.capacity_mah == 2500.0
+        assert not h.end_of_life
+
+    def test_fade_linear_in_cycles(self):
+        h = CellHealth(NCA, 2500.0, equivalent_cycles=NCA.cycle_life / 2)
+        assert h.fade_fraction == pytest.approx(0.1)
+        assert h.capacity_mah == pytest.approx(2250.0)
+
+    def test_eol_at_rated_cycles(self):
+        h = CellHealth(NCA, 2500.0, equivalent_cycles=float(NCA.cycle_life) * 1.01)
+        assert h.end_of_life
+        assert h.health == pytest.approx(0.0, abs=0.02)
+
+    def test_fresh_cell_reflects_fade(self):
+        h = CellHealth(NCA, 2500.0, equivalent_cycles=NCA.cycle_life / 2)
+        cell = h.fresh_cell()
+        assert cell.capacity_mah == pytest.approx(2250.0)
+
+
+class TestAgingModel:
+    def test_one_full_cycle_counts_one(self):
+        model = AgingModel()
+        h = CellHealth(NCA, 1000.0)
+        model.record_cycle(h, throughput_amp_s=3600.0)  # 1000 mAh
+        assert h.equivalent_cycles == pytest.approx(1.0)
+
+    def test_heat_accelerates(self):
+        model = AgingModel()
+        cool = CellHealth(NCA, 1000.0)
+        hot = CellHealth(NCA, 1000.0)
+        model.record_cycle(cool, 3600.0, mean_temp_c=25.0)
+        model.record_cycle(hot, 3600.0, mean_temp_c=45.0)
+        assert hot.equivalent_cycles == pytest.approx(4.0 * cool.equivalent_cycles)
+
+    def test_over_rate_draw_accelerates(self):
+        model = AgingModel()
+        gentle = CellHealth(NCA, 1000.0)
+        harsh = CellHealth(NCA, 1000.0)
+        i_sus = NCA.kibam_k * 3600.0
+        model.record_cycle(gentle, 3600.0, mean_current_a=i_sus * 0.5)
+        model.record_cycle(harsh, 3600.0, mean_current_a=i_sus * 3.0)
+        assert harsh.equivalent_cycles > gentle.equivalent_cycles
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            AgingModel().record_cycle(CellHealth(NCA, 1000.0), -1.0)
+
+
+class TestLifetimeProjection:
+    def test_table_i_lifetime_ordering(self):
+        """LTO (5-star lifetime) must outlive NCA (1-star) by far."""
+        daily = 0.8 * 2500.0 / 1000.0 * 3600.0  # 0.8 cycles/day
+        nca_days = project_lifetime(NCA, 2500.0, daily)
+        lto_days = project_lifetime(LTO, 2500.0, daily)
+        nmc_days = project_lifetime(NMC, 2500.0, daily)
+        assert lto_days > nmc_days > nca_days
+        assert lto_days > 5 * nca_days
+
+    def test_heat_shortens_life(self):
+        daily = 3600.0
+        cool = project_lifetime(NCA, 1000.0, daily, mean_temp_c=25.0)
+        hot = project_lifetime(NCA, 1000.0, daily, mean_temp_c=45.0)
+        assert hot == pytest.approx(cool / 4.0)
+
+    def test_nonpositive_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            project_lifetime(NCA, 1000.0, 0.0)

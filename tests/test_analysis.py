@@ -1,0 +1,120 @@
+"""Tests for fitting, radar analysis, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_exponential, fit_polynomial, r_squared
+from repro.analysis.radar import (
+    RADAR_AXES,
+    dominates,
+    pair_coverage,
+    pareto_front,
+    radar_rows,
+)
+from repro.analysis.reporting import (
+    comparison_table,
+    format_series,
+    format_table,
+    gain_percent,
+)
+from repro.battery.chemistry import CHEMISTRIES, LMO, NCA, NMC
+from repro.sim.discharge import DischargeResult
+from repro.sim.metrics import MetricsRecorder
+
+
+class TestFitting:
+    def test_polynomial_recovers_coefficients(self):
+        x = np.linspace(0, 5, 30)
+        y = 2.0 * x ** 2 - 3.0 * x + 1.0
+        fit = fit_polynomial(x, y, degree=2)
+        assert fit.params == pytest.approx((2.0, -3.0, 1.0), abs=1e-8)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_polynomial_predict(self):
+        fit = fit_polynomial([0, 1, 2], [0, 1, 2], degree=1)
+        assert fit([3.0])[0] == pytest.approx(3.0)
+
+    def test_exponential_recovers_trend(self):
+        x = np.linspace(0, 3, 40)
+        y = 1.5 * np.exp(1.2 * x) + 0.1
+        fit = fit_exponential(x, y)
+        assert fit.r2 > 0.99
+
+    def test_r_squared_perfect_and_mean(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, [2.0, 2.0, 2.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([], [], 1)
+        with pytest.raises(ValueError):
+            fit_exponential([0, 1], [1, 2])
+
+
+class TestRadar:
+    def test_rows_cover_catalogue(self):
+        rows = radar_rows()
+        assert set(rows) == set(CHEMISTRIES)
+        for row in rows.values():
+            assert set(row) == set(RADAR_AXES)
+
+    def test_no_single_chemistry_dominates_all(self):
+        """Paper observation 1: nobody covers all five dimensions."""
+        front = pareto_front()
+        assert len(front) >= 2
+
+    def test_dominates_semantics(self):
+        # NMC (4,4,4,3,3) dominates LMO (3,1,4,3,3).
+        assert dominates(NMC, LMO)
+        assert not dominates(LMO, NMC)
+
+    def test_pair_coverage_beats_singles(self):
+        """Paper observation: combining batteries covers the radar."""
+        pair = pair_coverage(NCA, LMO)
+        single_nca = pair_coverage(NCA, NCA)
+        single_lmo = pair_coverage(LMO, LMO)
+        assert pair > single_nca
+        assert pair > single_lmo
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series_thins_points(self):
+        pts = [(float(i), float(i)) for i in range(100)]
+        out = format_series("s", pts, max_points=10)
+        assert out.count("(") <= 13
+
+    def test_gain_percent(self):
+        assert gain_percent(2.0, 1.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            gain_percent(1.0, 0.0)
+
+    def test_comparison_table(self):
+        def result(name, t):
+            return DischargeResult(
+                policy_name=name, workload_name="w", service_time_s=t,
+                energy_delivered_j=10.0, switch_count=1, big_time_s=t / 2,
+                little_time_s=t / 2, tec_on_time_s=0.0, tec_energy_j=0.0,
+                max_cpu_temp_c=40.0, time_above_threshold_s=0.0,
+                metrics=MetricsRecorder(),
+            )
+
+        rows = comparison_table(
+            {"Practice": result("Practice", 100.0), "CAPMAN": result("CAPMAN", 214.0)}
+        )
+        assert rows[0].policy == "CAPMAN"
+        assert rows[0].gain_over_reference_pct == pytest.approx(114.0)
+
+    def test_comparison_requires_reference(self):
+        with pytest.raises(KeyError):
+            comparison_table({})

@@ -1,0 +1,121 @@
+"""Tests for the Oracle / Practice / Dual / Heuristic baselines."""
+
+import pytest
+
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+from repro.battery.switch import BatterySelection
+from repro.capman.baselines import (
+    DualPolicy,
+    HeuristicPolicy,
+    OraclePolicy,
+    PracticePolicy,
+)
+from repro.device.phone import DemandSlice, Phone
+from repro.sim.discharge import PolicyContext, run_discharge_cycle
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+def _ctx(power=1.0, util=20.0, soc_big=0.9, soc_little=0.9,
+         active=BatterySelection.BIG, temp=30.0):
+    return PolicyContext(
+        now_s=0.0,
+        demand=DemandSlice(cpu_util=util, screen_on=True),
+        syscall=None,
+        predicted_power_w=power,
+        cpu_temp_c=temp,
+        surface_temp_c=temp - 5,
+        soc_big=soc_big,
+        soc_little=soc_little,
+        active=active,
+        segment_start=True,
+    )
+
+
+class TestPractice:
+    def test_single_pack_with_combined_capacity(self):
+        pack = PracticePolicy().build_pack()
+        assert isinstance(pack, SingleBatteryPack)
+        assert pack.cell.capacity_mah == pytest.approx(5000.0)
+
+    def test_never_switches(self):
+        assert PracticePolicy().decide_battery(_ctx()) is None
+
+    def test_no_tec(self):
+        assert not PracticePolicy().uses_tec
+
+
+class TestDual:
+    def test_little_first(self):
+        assert DualPolicy().decide_battery(_ctx()) is BatterySelection.LITTLE
+
+    def test_falls_back_to_big_when_little_empty(self):
+        ctx = _ctx(soc_little=0.01)
+        assert DualPolicy().decide_battery(ctx) is BatterySelection.BIG
+
+    def test_builds_big_little_pack(self):
+        assert isinstance(DualPolicy().build_pack(), BigLittlePack)
+
+
+class TestHeuristic:
+    def test_high_utilisation_goes_little(self):
+        ctx = _ctx(util=90.0)
+        assert HeuristicPolicy().decide_battery(ctx) is BatterySelection.LITTLE
+
+    def test_low_utilisation_goes_big(self):
+        ctx = _ctx(util=10.0, active=BatterySelection.LITTLE)
+        assert HeuristicPolicy().decide_battery(ctx) is BatterySelection.BIG
+
+    def test_hysteresis_holds_selection(self):
+        pol = HeuristicPolicy(util_threshold=70.0, util_hysteresis=12.0)
+        # 65% is inside the band: stay on LITTLE.
+        ctx = _ctx(util=65.0, active=BatterySelection.LITTLE)
+        assert pol.decide_battery(ctx) is None
+
+    def test_blind_to_network_power(self):
+        """The paper's weakness: utilisation-based prediction misses
+        radio-heavy bursts."""
+        pol = HeuristicPolicy()
+        ctx = _ctx(util=20.0, power=2.8)  # heavy radio, light CPU
+        assert pol.decide_battery(ctx) is not BatterySelection.LITTLE
+
+
+class TestOracle:
+    def test_tunes_threshold_from_trace(self):
+        trace = record_trace(VideoWorkload(seed=13), 240.0)
+        oracle = OraclePolicy(capacity_mah=60.0, tuning_scale=0.2)
+        phone = Phone(pack=oracle.build_pack())
+        oracle.on_cycle_start(trace, phone)
+        assert oracle._threshold_w in oracle.candidate_thresholds_w
+
+    def test_routes_bursts_to_little(self):
+        oracle = OraclePolicy()
+        oracle._threshold_w = 1.6
+        assert oracle.decide_battery(_ctx(power=2.5)) is BatterySelection.LITTLE
+        assert oracle.decide_battery(_ctx(power=0.8)) is BatterySelection.BIG
+
+    def test_respects_depleted_cells(self):
+        oracle = OraclePolicy()
+        oracle._threshold_w = 1.6
+        assert (
+            oracle.decide_battery(_ctx(power=2.5, soc_little=0.01))
+            is BatterySelection.BIG
+        )
+        assert (
+            oracle.decide_battery(_ctx(power=0.5, soc_big=0.01))
+            is BatterySelection.LITTLE
+        )
+
+    def test_uses_tec(self):
+        assert OraclePolicy().uses_tec
+
+
+class TestEndToEndOrdering:
+    def test_dual_beats_practice_on_video(self):
+        """The core big.LITTLE claim at test scale."""
+        trace = record_trace(VideoWorkload(seed=17), 240.0)
+        dual = run_discharge_cycle(DualPolicy(capacity_mah=40.0), trace,
+                                   control_dt=2.0, max_duration_s=10 * 3600.0)
+        practice = run_discharge_cycle(PracticePolicy(capacity_mah=80.0), trace,
+                                       control_dt=2.0, max_duration_s=10 * 3600.0)
+        assert dual.service_time_s > practice.service_time_s

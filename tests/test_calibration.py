@@ -1,0 +1,53 @@
+"""Tests for the runtime calibration (rho sweep of Figure 16)."""
+
+import pytest
+
+from repro.capman.calibration import RuntimeCalibrator
+from repro.core.mdp import random_mdp
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return random_mdp(10, 3, branching=2, seed=51)
+
+
+class TestMeasurement:
+    def test_point_fields(self, mdp):
+        point = RuntimeCalibrator(mdp).measure(0.5, n_decisions=16)
+        assert point.rho == 0.5
+        assert point.mean_latency_us > 0.0
+        assert point.p95_latency_us >= point.mean_latency_us * 0.5
+        assert point.sweeps_per_decision >= 1
+
+    def test_overhead_grows_with_rho(self, mdp):
+        """The Figure 16 trend: steep growth as rho approaches 1."""
+        cal = RuntimeCalibrator(mdp)
+        low = cal.measure(0.2, n_decisions=24)
+        high = cal.measure(0.99, n_decisions=24)
+        assert high.sweeps_per_decision > 10 * low.sweeps_per_decision
+        assert high.mean_latency_us > low.mean_latency_us
+
+    def test_faster_device_has_lower_overhead(self, mdp):
+        """Nexus vs Honor vs Lenovo separation in Figure 16."""
+        nexus = RuntimeCalibrator(mdp, compute_speed=1.0).measure(0.95, 24)
+        lenovo = RuntimeCalibrator(mdp, compute_speed=1.7).measure(0.95, 24)
+        assert lenovo.sweeps_per_decision < nexus.sweeps_per_decision
+
+    def test_sweep_covers_requested_rhos(self, mdp):
+        rhos = (0.1, 0.5, 0.9)
+        points = RuntimeCalibrator(mdp).sweep(rhos, n_decisions=8)
+        assert [p.rho for p in points] == list(rhos)
+
+
+class TestRecommendation:
+    def test_recommends_largest_rho_in_budget(self, mdp):
+        cal = RuntimeCalibrator(mdp)
+        sweep = cal.sweep((0.1, 0.9), n_decisions=16)
+        generous = max(p.mean_latency_us for p in sweep) * 10.0
+        rec = cal.recommend(generous, rhos=(0.1, 0.9), n_decisions=16)
+        assert rec is not None
+        assert rec.rho == 0.9
+
+    def test_impossible_budget_returns_none(self, mdp):
+        cal = RuntimeCalibrator(mdp)
+        assert cal.recommend(1e-9, rhos=(0.5,), n_decisions=8) is None

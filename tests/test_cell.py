@@ -1,0 +1,184 @@
+"""Tests for the KiBaM cell model."""
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import LMO, NCA
+
+
+class TestConstruction:
+    def test_initial_wells_split_by_c(self):
+        cell = Cell(NCA, capacity_mah=1000.0)
+        c = NCA.kibam_c
+        assert cell.available_amp_s == pytest.approx(cell.capacity_amp_s * c)
+        assert cell.charge_amp_s == pytest.approx(cell.capacity_amp_s)
+
+    def test_partial_soc(self):
+        cell = Cell(NCA, capacity_mah=1000.0, soc=0.5)
+        assert cell.state_of_charge == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Cell(NCA, capacity_mah=-1.0)
+        with pytest.raises(ValueError):
+            Cell(NCA, soc=1.5)
+
+
+class TestVoltage:
+    def test_ocv_monotone_in_soc(self):
+        high = Cell(NCA, soc=1.0).open_circuit_voltage()
+        mid = Cell(NCA, soc=0.5).open_circuit_voltage()
+        low = Cell(NCA, soc=0.05).open_circuit_voltage()
+        assert high > mid > low
+
+    def test_ocv_within_chemistry_window(self):
+        for soc in (0.0, 0.2, 0.5, 0.8, 1.0):
+            v = Cell(NCA, soc=soc).open_circuit_voltage()
+            assert NCA.cutoff_voltage <= v <= NCA.full_voltage
+
+    def test_terminal_voltage_drops_under_load(self):
+        cell = Cell(NCA)
+        assert cell.terminal_voltage(1.0) < cell.terminal_voltage(0.0)
+
+    def test_resistance_rises_when_hot(self):
+        cold = Cell(NCA, temperature_c=25.0).internal_resistance()
+        hot = Cell(NCA, temperature_c=45.0).internal_resistance()
+        assert hot > cold
+
+    def test_resistance_rises_when_empty(self):
+        full = Cell(NCA, soc=1.0).internal_resistance()
+        empty = Cell(NCA, soc=0.1).internal_resistance()
+        assert empty > full
+
+
+class TestPowerSolve:
+    def test_current_satisfies_power_equation(self):
+        cell = Cell(NCA)
+        for p in (0.5, 1.0, 3.0):
+            i = cell.current_for_power(p)
+            v = cell.terminal_voltage(i)
+            assert i * v == pytest.approx(p, rel=1e-6)
+
+    def test_zero_power_zero_current(self):
+        assert Cell(NCA).current_for_power(0.0) == 0.0
+
+    def test_excess_power_clamped_at_mpp(self):
+        cell = Cell(NCA)
+        i = cell.current_for_power(1e6)
+        veff = cell.open_circuit_voltage()
+        assert i == pytest.approx(veff / (2 * cell.internal_resistance()))
+
+    def test_max_power_positive(self):
+        assert Cell(NCA).max_power_w() > 5.0
+
+
+class TestDischarge:
+    def test_charge_decreases_when_drawing(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        before = cell.charge_amp_s
+        cell.draw_power(1.0, 10.0)
+        assert cell.charge_amp_s < before
+
+    def test_energy_delivered_matches_demand(self):
+        cell = Cell(NCA, capacity_mah=1000.0)
+        res = cell.draw_power(2.0, 5.0)
+        assert res.energy_j == pytest.approx(10.0)
+        assert not res.shortfall
+
+    def test_heat_positive_under_load(self):
+        res = Cell(NCA).draw_power(3.0, 10.0)
+        assert res.heat_j > 0.0
+
+    def test_rest_preserves_charge(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        cell.draw_power(1.0, 20.0)
+        before = cell.charge_amp_s
+        cell.rest(60.0)
+        assert cell.charge_amp_s == pytest.approx(before, rel=1e-9)
+
+    def test_recovery_effect(self):
+        """Resting refills the available well from the bound well."""
+        cell = Cell(NCA, capacity_mah=1000.0)
+        # Hammer the available well without fully draining the cell.
+        while cell.available_amp_s > 100.0:
+            cell.draw_power(6.0, 10.0)
+        drained = cell.available_amp_s
+        assert cell.charge_amp_s > 500.0  # bound well still holds charge
+        cell.rest(3600.0)
+        assert cell.available_amp_s > drained + 50.0  # recovered
+
+    def test_rate_capacity_effect(self):
+        """Drawing hard delivers less total energy than drawing softly."""
+        soft = Cell(NCA, capacity_mah=1000.0)
+        hard = Cell(NCA, capacity_mah=1000.0)
+        soft_energy = 0.0
+        while not soft.depleted:
+            soft_energy += soft.draw_power(0.3, 30.0).energy_j
+        hard_energy = 0.0
+        while not hard.depleted:
+            hard_energy += hard.draw_power(6.0, 30.0).energy_j
+        assert hard_energy < soft_energy * 0.8
+
+    def test_little_better_at_bursts(self):
+        """LMO delivers more of its charge under bursty draw than NCA."""
+        def burst_energy(chem):
+            cell = Cell(chem, capacity_mah=1000.0)
+            total = 0.0
+            steps = 0
+            while not cell.depleted and steps < 20_000:
+                total += cell.draw_power(6.0, 5.0).energy_j
+                cell.rest(5.0)
+                steps += 1
+            return total
+
+        assert burst_energy(LMO) > burst_energy(NCA) * 1.1
+
+    def test_big_degrades_faster_with_rate(self):
+        """NCA's delivered energy falls off with draw rate much faster
+        than LMO's -- the property the big/LITTLE split exploits."""
+        def delivered(chem, power):
+            cell = Cell(chem, capacity_mah=1000.0)
+            total = 0.0
+            steps = 0
+            while not cell.depleted and steps < 20_000:
+                total += cell.draw_power(power, 30.0).energy_j
+                steps += 1
+            return total
+
+        nca_ratio = delivered(NCA, 6.0) / delivered(NCA, 0.3)
+        lmo_ratio = delivered(LMO, 6.0) / delivered(LMO, 0.3)
+        assert nca_ratio < lmo_ratio * 0.8
+
+    def test_depleted_cell_serves_nothing(self):
+        cell = Cell(NCA, capacity_mah=50.0)
+        steps = 0
+        while not cell.depleted and steps < 100_000:
+            cell.draw_power(3.0, 10.0)
+            steps += 1
+        assert cell.depleted
+        res = cell.draw_power(1.0, 1.0)
+        assert res.energy_j == 0.0
+        assert res.shortfall
+
+    def test_invalid_draws_rejected(self):
+        cell = Cell(NCA)
+        with pytest.raises(ValueError):
+            cell.draw_power(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            cell.draw_power(1.0, 0.0)
+
+    def test_clone_is_independent(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        cell.draw_power(1.0, 10.0)
+        copy = cell.clone()
+        assert copy.charge_amp_s == pytest.approx(cell.charge_amp_s)
+        copy.draw_power(1.0, 100.0)
+        assert copy.charge_amp_s < cell.charge_amp_s
+
+    def test_transient_voltage_relaxes(self):
+        cell = Cell(NCA)
+        cell.draw_power(3.0, 5.0)
+        sag = cell._v_transient
+        assert sag > 0.0
+        cell.rest(600.0)
+        assert cell._v_transient < sag * 0.1

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) on the KiBaM cell invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import CHEMISTRIES, LMO, NCA
+
+_CHEM = st.sampled_from(list(CHEMISTRIES.values()))
+
+
+class TestChargeConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        chem=_CHEM,
+        power=st.floats(0.0, 4.0),
+        dt=st.floats(0.1, 120.0),
+    )
+    def test_charge_never_negative(self, chem, power, dt):
+        cell = Cell(chem, capacity_mah=100.0)
+        cell.draw_power(power, dt)
+        assert cell.available_amp_s >= -1e-9
+        assert cell.charge_amp_s >= -1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(chem=_CHEM, dt=st.floats(0.1, 3600.0))
+    def test_rest_conserves_charge(self, chem, dt):
+        cell = Cell(chem, capacity_mah=100.0)
+        cell.draw_power(1.0, 30.0)
+        before = cell.charge_amp_s
+        cell.rest(dt)
+        assert cell.charge_amp_s == pytest.approx(before, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chem=_CHEM,
+        power=st.floats(0.1, 3.0),
+        dt=st.floats(1.0, 60.0),
+    )
+    def test_charge_drawn_at_least_delivered(self, chem, power, dt):
+        """Coulombic losses mean wells lose >= the delivered charge."""
+        cell = Cell(chem, capacity_mah=200.0)
+        before = cell.charge_amp_s
+        res = cell.draw_power(power, dt)
+        drawn = before - cell.charge_amp_s
+        delivered = res.current_a * dt
+        assert drawn >= delivered * 0.999
+
+    @settings(max_examples=40, deadline=None)
+    @given(chem=_CHEM, power=st.floats(0.0, 5.0), dt=st.floats(0.1, 100.0))
+    def test_soc_in_unit_interval(self, chem, power, dt):
+        cell = Cell(chem, capacity_mah=50.0)
+        for _ in range(5):
+            cell.draw_power(power, dt)
+        assert 0.0 <= cell.state_of_charge <= 1.0
+
+
+class TestVoltageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(soc=st.floats(0.0, 1.0), chem=_CHEM)
+    def test_ocv_within_window(self, soc, chem):
+        v = Cell(chem, soc=soc).open_circuit_voltage()
+        assert chem.cutoff_voltage - 1e-9 <= v <= chem.full_voltage + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(power=st.floats(0.01, 5.0))
+    def test_power_solve_consistent(self, power):
+        cell = Cell(NCA)
+        i = cell.current_for_power(power)
+        assert i >= 0.0
+        if i < cell.open_circuit_voltage() / (2 * cell.internal_resistance()) - 1e-9:
+            assert i * cell.terminal_voltage(i) == pytest.approx(power, rel=1e-5)
+
+
+class TestEnergyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(power=st.floats(0.1, 2.0), dt=st.floats(0.5, 30.0))
+    def test_energy_never_exceeds_demand(self, power, dt):
+        cell = Cell(LMO, capacity_mah=100.0)
+        res = cell.draw_power(power, dt)
+        assert res.energy_j <= power * dt + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(power=st.floats(0.1, 2.0))
+    def test_heat_nonnegative(self, power):
+        res = Cell(NCA).draw_power(power, 10.0)
+        assert res.heat_j >= 0.0

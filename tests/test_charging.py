@@ -1,0 +1,103 @@
+"""Tests for the CC-CV charging substrate."""
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.charging import CCCVCharger
+from repro.battery.chemistry import LMO, NCA, pick_big_little
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+
+
+class TestValidation:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CCCVCharger(charge_c_rate=0.0)
+        with pytest.raises(ValueError):
+            CCCVCharger(charge_c_rate=0.5, cutoff_c_rate=0.6)
+        with pytest.raises(ValueError):
+            CCCVCharger(efficiency=1.5)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            CCCVCharger().step_cell(Cell(NCA, 100.0), 0.0)
+
+
+class TestStepCell:
+    def test_full_cell_accepts_nothing(self):
+        cell = Cell(NCA, 100.0, soc=1.0)
+        res = CCCVCharger().step_cell(cell, 30.0)
+        assert res.accepted_amp_s == 0.0
+        assert res.complete
+
+    def test_cc_phase_current(self):
+        cell = Cell(NCA, 1000.0, soc=0.3)
+        res = CCCVCharger(charge_c_rate=0.5).step_cell(cell, 30.0)
+        assert res.current_a == pytest.approx(0.5)
+
+    def test_cv_phase_tapers(self):
+        charger = CCCVCharger(charge_c_rate=0.5)
+        low = charger.step_cell(Cell(NCA, 1000.0, soc=0.5), 30.0)
+        high = charger.step_cell(Cell(NCA, 1000.0, soc=0.95), 30.0)
+        assert high.current_a < low.current_a
+
+    def test_charge_increases_soc(self):
+        cell = Cell(NCA, 500.0, soc=0.4)
+        CCCVCharger().step_cell(cell, 60.0)
+        assert cell.state_of_charge > 0.4
+
+    def test_never_overfills(self):
+        cell = Cell(NCA, 50.0, soc=0.99)
+        for _ in range(100):
+            CCCVCharger().step_cell(cell, 60.0)
+        assert cell.state_of_charge <= 1.0 + 1e-9
+
+
+class TestFullCharge:
+    def test_charges_to_full(self):
+        cell = Cell(NCA, 500.0, soc=0.1)
+        t = CCCVCharger().charge_cell(cell)
+        assert cell.state_of_charge >= 0.999
+        assert t > 0.0
+
+    def test_cc_phase_dominates_time(self):
+        """0.5C charging from empty takes roughly 2-3 hours."""
+        cell = Cell(NCA, 1000.0, soc=0.02)
+        t = CCCVCharger(charge_c_rate=0.5).charge_cell(cell)
+        assert 1.5 * 3600.0 < t < 4.0 * 3600.0
+
+    def test_faster_charger_is_faster(self):
+        slow_cell = Cell(LMO, 500.0, soc=0.1)
+        fast_cell = Cell(LMO, 500.0, soc=0.1)
+        slow = CCCVCharger(charge_c_rate=0.3).charge_cell(slow_cell)
+        fast = CCCVCharger(charge_c_rate=1.0).charge_cell(fast_cell)
+        assert fast < slow
+
+    def test_charged_cell_serves_again(self):
+        cell = Cell(NCA, 200.0, soc=0.05)
+        CCCVCharger().charge_cell(cell)
+        res = cell.draw_power(0.5, 10.0)
+        assert res.energy_j == pytest.approx(5.0)
+
+
+class TestChargePack:
+    def test_charges_big_little_pack(self):
+        big, little = pick_big_little()
+        pack = BigLittlePack.from_chemistries(big, little, 300.0)
+        pack.big._available *= 0.1
+        pack.big._bound *= 0.1
+        pack.little._available *= 0.1
+        pack.little._bound *= 0.1
+        t = CCCVCharger().charge_pack(pack)
+        assert pack.state_of_charge >= 0.999
+        assert t > 0.0
+
+    def test_charges_single_pack(self):
+        pack = SingleBatteryPack.from_chemistry(NCA, 300.0)
+        pack.cell._available *= 0.2
+        pack.cell._bound *= 0.2
+        CCCVCharger().charge_pack(pack)
+        assert pack.state_of_charge >= 0.999
+
+    def test_unknown_pack_rejected(self):
+        with pytest.raises(TypeError):
+            CCCVCharger().charge_pack(object())

@@ -1,0 +1,122 @@
+"""Tests for the chemistry catalogue (paper Table I / Figure 4)."""
+
+import pytest
+
+from repro.battery.chemistry import (
+    BatteryRole,
+    CHEMISTRIES,
+    Chemistry,
+    FeatureRatings,
+    LCO,
+    LFP,
+    LMO,
+    LTO,
+    NCA,
+    NMC,
+    classify,
+    orthogonality,
+    pick_big_little,
+)
+
+
+class TestTableI:
+    """The Result column of Table I must be reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "chem,role",
+        [
+            (LCO, BatteryRole.BIG),
+            (NCA, BatteryRole.BIG),
+            (LMO, BatteryRole.LITTLE),
+            (NMC, BatteryRole.LITTLE),
+            (LFP, BatteryRole.LITTLE),
+            (LTO, BatteryRole.LITTLE),
+        ],
+    )
+    def test_classification(self, chem, role):
+        assert classify(chem) is role
+        assert chem.role is role
+
+    def test_catalogue_complete(self):
+        assert set(CHEMISTRIES) == {"LCO", "NCA", "LMO", "NMC", "LFP", "LTO"}
+
+    def test_papers_pick(self):
+        big, little = pick_big_little()
+        assert big is NCA
+        assert little is LMO
+
+
+class TestRatings:
+    def test_ratings_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FeatureRatings(0, 3, 3, 3, 3)
+        with pytest.raises(ValueError):
+            FeatureRatings(3, 3, 6, 3, 3)
+
+    def test_normalized_in_unit_interval(self):
+        for chem in CHEMISTRIES.values():
+            normalized = chem.ratings.normalized()
+            assert all(0.0 <= v <= 1.0 for v in normalized.values())
+
+    def test_as_dict_has_five_axes(self):
+        assert len(NCA.ratings.as_dict()) == 5
+
+
+class TestDerivedPhysics:
+    def test_little_discharges_faster(self):
+        # Figure 1: LMO releases electrons faster than NCA.
+        assert LMO.max_c_rate > NCA.max_c_rate
+        assert LMO.kibam_k > NCA.kibam_k
+        assert LMO.internal_resistance < NCA.internal_resistance
+
+    def test_big_stores_more(self):
+        assert NCA.energy_density_wh_per_l > LMO.energy_density_wh_per_l
+        assert NCA.capacity_mah_for_volume(10.0) > LMO.capacity_mah_for_volume(10.0)
+
+    def test_big_more_efficient_at_gentle_rates(self):
+        assert NCA.coulombic_efficiency > LMO.coulombic_efficiency
+
+    def test_big_pays_more_for_bursts(self):
+        assert NCA.rate_loss_coeff > LMO.rate_loss_coeff
+
+    def test_capacity_for_volume_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NCA.capacity_mah_for_volume(0.0)
+
+    def test_transient_slower_for_big(self):
+        _, tau_big = NCA.effective_transient()
+        _, tau_little = LMO.effective_transient()
+        assert tau_big > tau_little
+
+    def test_monotone_c_rate_in_stars(self):
+        stars = sorted(CHEMISTRIES.values(), key=lambda c: c.ratings.discharge_rate)
+        rates = [c.max_c_rate for c in stars]
+        assert rates == sorted(rates)
+
+
+class TestTimeCompression:
+    def test_scales_diffusion(self):
+        scaled = NCA.time_compressed(0.1)
+        assert scaled.kibam_k == pytest.approx(NCA.kibam_k / 0.1)
+
+    def test_sustainable_current_invariant(self):
+        # sustainable ~ k * capacity; capacity scale * k/scale = const.
+        scale = 0.05
+        scaled = NCA.time_compressed(scale)
+        assert scaled.kibam_k * scale == pytest.approx(NCA.kibam_k)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            NCA.time_compressed(0.0)
+        with pytest.raises(ValueError):
+            NCA.time_compressed(1.5)
+
+
+class TestOrthogonality:
+    def test_paper_pair_is_orthogonal(self):
+        # NCA (3,4) and LMO (4,3) are perpendicular around the scale
+        # centre -- the paper's "almost orthogonal" observation.
+        assert orthogonality(NCA, LMO) == pytest.approx(1.0)
+
+    def test_self_pair_is_colinear(self):
+        assert orthogonality(NCA, NCA) == pytest.approx(0.0)

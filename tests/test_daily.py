@@ -1,0 +1,67 @@
+"""Tests for the multi-day discharge/charge/aging simulation."""
+
+import pytest
+
+from repro.battery.aging import AgingModel
+from repro.capman.baselines import DualPolicy, PracticePolicy
+from repro.sim.daily import run_days
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace(VideoWorkload(seed=41), 240.0)
+
+
+def _fast_aging():
+    """Aggressive aging so fade is visible in a handful of days."""
+    return AgingModel(temp_doubling_k=5.0, rate_stress_weight=2.0)
+
+
+class TestRunDays:
+    def test_records_every_day(self, trace):
+        res = run_days(DualPolicy(capacity_mah=60.0), trace, n_days=3,
+                       max_cycle_s=6 * 3600.0)
+        assert len(res.days) == 3
+        assert res.days[0].day == 1
+        assert res.policy_name == "Dual"
+
+    def test_health_monotone_nonincreasing(self, trace):
+        res = run_days(DualPolicy(capacity_mah=60.0), trace, n_days=4,
+                       max_cycle_s=6 * 3600.0, aging=_fast_aging())
+        for earlier, later in zip(res.days, res.days[1:]):
+            for h_e, h_l in zip(earlier.cell_health, later.cell_health):
+                assert h_l <= h_e + 1e-9
+
+    def test_charge_time_positive(self, trace):
+        res = run_days(PracticePolicy(capacity_mah=120.0), trace, n_days=2,
+                       max_cycle_s=6 * 3600.0)
+        assert all(d.charge_time_s > 0.0 for d in res.days)
+
+    def test_service_fades_with_heavy_aging(self, trace):
+        """With a brutally accelerated aging model, day-N service time
+        drops below day 1."""
+
+        class Brutal(AgingModel):
+            def record_cycle(self, health, throughput_amp_s, mean_temp_c=25.0,
+                             mean_current_a=0.0):
+                health.equivalent_cycles += health.chemistry.cycle_life * 0.2
+
+        res = run_days(DualPolicy(capacity_mah=60.0), trace, n_days=4,
+                       max_cycle_s=6 * 3600.0, aging=Brutal())
+        assert res.service_fade > 0.05
+
+    def test_invalid_days_rejected(self, trace):
+        with pytest.raises(ValueError):
+            run_days(DualPolicy(capacity_mah=60.0), trace, n_days=0)
+
+    def test_dual_pack_tracks_two_cells(self, trace):
+        res = run_days(DualPolicy(capacity_mah=60.0), trace, n_days=2,
+                       max_cycle_s=6 * 3600.0)
+        assert len(res.days[0].cell_health) == 2
+
+    def test_single_pack_tracks_one_cell(self, trace):
+        res = run_days(PracticePolicy(capacity_mah=120.0), trace, n_days=2,
+                       max_cycle_s=6 * 3600.0)
+        assert len(res.days[0].cell_health) == 1

@@ -1,0 +1,110 @@
+"""Tests for the discharge-cycle experiment harness."""
+
+import pytest
+
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+from repro.battery.chemistry import LCO, pick_big_little
+from repro.battery.switch import BatterySelection
+from repro.sim.discharge import (
+    DischargeResult,
+    PolicyContext,
+    SchedulingPolicy,
+    run_discharge_cycle,
+)
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+class TinyDual(SchedulingPolicy):
+    """LITTLE-first policy on a tiny pack for fast cycles."""
+
+    name = "tiny-dual"
+    uses_tec = False
+
+    def __init__(self, mah=40.0):
+        self.mah = mah
+
+    def build_pack(self):
+        big, little = pick_big_little()
+        return BigLittlePack.from_chemistries(big, little, self.mah)
+
+    def decide_battery(self, ctx: PolicyContext):
+        if ctx.soc_little > 0.02:
+            return BatterySelection.LITTLE
+        return BatterySelection.BIG
+
+
+class TinySingle(SchedulingPolicy):
+    name = "tiny-single"
+    uses_tec = False
+
+    def __init__(self, mah=80.0):
+        self.mah = mah
+
+    def build_pack(self):
+        return SingleBatteryPack.from_chemistry(LCO, self.mah)
+
+    def decide_battery(self, ctx):
+        return None
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace(VideoWorkload(seed=5), 240.0)
+
+
+class TestRunDischargeCycle:
+    def test_cycle_terminates_before_cap(self, trace):
+        res = run_discharge_cycle(TinyDual(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0)
+        assert res.service_time_s < 8 * 3600.0
+        assert res.energy_delivered_j > 0.0
+
+    def test_result_fields_consistent(self, trace):
+        res = run_discharge_cycle(TinyDual(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0)
+        assert isinstance(res, DischargeResult)
+        assert res.workload_name == "Video"
+        assert res.policy_name == "tiny-dual"
+        assert res.big_time_s + res.little_time_s <= res.service_time_s + 2.0
+        assert 0.0 <= res.little_ratio <= 1.0
+        assert res.mean_power_w > 0.0
+
+    def test_metrics_recorded(self, trace):
+        res = run_discharge_cycle(TinyDual(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0)
+        for name in ("soc", "cpu_temp_c", "power_w", "voltage_v"):
+            assert res.metrics.has_series(name)
+        socs = res.metrics.series("soc").values
+        assert socs[0] > socs[-1]
+
+    def test_little_first_policy_reflected(self, trace):
+        res = run_discharge_cycle(TinyDual(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0)
+        assert res.little_ratio > 0.3
+        assert res.switch_count >= 1
+
+    def test_single_pack_counts_no_switches(self, trace):
+        res = run_discharge_cycle(TinySingle(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0)
+        assert res.switch_count == 0
+        assert res.little_ratio == 0.0
+
+    def test_max_duration_respected(self, trace):
+        res = run_discharge_cycle(TinyDual(mah=5000.0), trace, control_dt=2.0,
+                                  max_duration_s=120.0)
+        assert res.service_time_s == pytest.approx(120.0, abs=4.0)
+
+    def test_brownout_limit_configurable(self, trace):
+        strict = run_discharge_cycle(TinySingle(), trace, control_dt=2.0,
+                                     max_duration_s=8 * 3600.0, brownout_limit=1)
+        lax = run_discharge_cycle(TinySingle(), trace, control_dt=2.0,
+                                  max_duration_s=8 * 3600.0, brownout_limit=30)
+        assert strict.service_time_s <= lax.service_time_s
+
+    def test_dual_outlasts_single_of_same_capacity(self, trace):
+        dual = run_discharge_cycle(TinyDual(mah=40.0), trace, control_dt=2.0,
+                                   max_duration_s=12 * 3600.0)
+        single = run_discharge_cycle(TinySingle(mah=80.0), trace, control_dt=2.0,
+                                     max_duration_s=12 * 3600.0)
+        assert dual.service_time_s > single.service_time_s

@@ -1,0 +1,55 @@
+"""Tests for the control-step slicing engine."""
+
+import pytest
+
+from repro.device.phone import DemandSlice
+from repro.sim.engine import iter_control_steps
+from repro.workload.base import Segment
+
+
+def _segments():
+    return [
+        Segment(DemandSlice(cpu_util=10.0), 2.5),
+        Segment(DemandSlice(cpu_util=90.0), 1.0),
+    ]
+
+
+class TestSlicing:
+    def test_slices_respect_control_dt(self):
+        steps = list(iter_control_steps(_segments(), control_dt=1.0))
+        assert [s.dt for s in steps] == [1.0, 1.0, 0.5, 1.0]
+
+    def test_times_are_cumulative(self):
+        steps = list(iter_control_steps(_segments(), control_dt=1.0))
+        assert [s.start_s for s in steps] == [0.0, 1.0, 2.0, 2.5]
+
+    def test_segment_start_flag(self):
+        steps = list(iter_control_steps(_segments(), control_dt=1.0))
+        assert [s.segment_start for s in steps] == [True, False, False, True]
+
+    def test_syscall_only_on_first_step(self):
+        from repro.device.syscalls import default_vocabulary, SyscallClass
+
+        vocab = default_vocabulary()
+        call = vocab.representative(SyscallClass.WAKE_UP)
+        segs = [Segment(DemandSlice(cpu_util=10.0), 3.0, call)]
+        steps = list(iter_control_steps(segs, control_dt=1.0))
+        assert steps[0].syscall is call
+        assert all(s.syscall is None for s in steps[1:])
+
+    def test_max_duration_truncates(self):
+        steps = list(iter_control_steps(_segments(), 1.0, max_duration_s=1.5))
+        assert sum(s.dt for s in steps) == pytest.approx(1.5)
+
+    def test_large_control_dt_keeps_segment_boundaries(self):
+        steps = list(iter_control_steps(_segments(), control_dt=100.0))
+        assert [s.dt for s in steps] == [2.5, 1.0]
+
+    def test_invalid_control_dt(self):
+        with pytest.raises(ValueError):
+            list(iter_control_steps(_segments(), control_dt=0.0))
+
+    def test_demand_carried_through(self):
+        steps = list(iter_control_steps(_segments(), control_dt=1.0))
+        assert steps[0].segment.demand.cpu_util == 10.0
+        assert steps[-1].segment.demand.cpu_util == 90.0

@@ -1,0 +1,119 @@
+"""Failure injection: malformed inputs, pathological regimes, misuse.
+
+The library is a simulator people will feed garbage; these tests pin
+down that it fails loudly (ValueError/KeyError) rather than silently
+producing wrong physics.
+"""
+
+import json
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import NCA
+from repro.battery.pack import BigLittlePack
+from repro.capman.controller import CapmanPolicy
+from repro.capman.profiler import PowerProfiler
+from repro.device.phone import DemandSlice, Phone
+from repro.sim.discharge import run_discharge_cycle
+from repro.thermal.rc_network import ThermalNetwork, ThermalNode
+from repro.workload.base import Segment
+from repro.workload.traces import Trace
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+class TestMalformedTraces:
+    def test_truncated_trace_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n{"duration_s": 1.0')
+        with pytest.raises(json.JSONDecodeError):
+            Trace.load(path)
+
+    def test_unknown_syscall_in_trace(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"name": "x"}\n'
+            '{"duration_s": 1.0, "syscall": "not_a_call", "cpu_util": 1.0,'
+            ' "freq_index": 0, "screen_on": false, "brightness": 0,'
+            ' "wifi_kbps": 0.0}\n'
+        )
+        with pytest.raises(KeyError):
+            Trace.load(path)
+
+    def test_invalid_demand_in_trace(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"name": "x"}\n'
+            '{"duration_s": 1.0, "syscall": null, "cpu_util": 300.0,'
+            ' "freq_index": 0, "screen_on": false, "brightness": 0,'
+            ' "wifi_kbps": 0.0}\n'
+        )
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+
+class TestPathologicalRegimes:
+    def test_zero_power_forever_is_stable(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        for _ in range(1000):
+            cell.draw_power(0.0, 60.0)
+        assert cell.state_of_charge == pytest.approx(1.0)
+
+    def test_absurd_power_demand_does_not_go_negative(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        res = cell.draw_power(1e6, 1.0)
+        assert res.shortfall
+        assert cell.available_amp_s >= 0.0
+        assert res.energy_j >= 0.0
+
+    def test_extreme_temperature_keeps_resistance_positive(self):
+        hot = Cell(NCA, temperature_c=200.0)
+        cold = Cell(NCA, temperature_c=-200.0)
+        assert hot.internal_resistance() > 0.0
+        assert cold.internal_resistance() > 0.0
+
+    def test_thermal_network_with_extreme_injection(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("hot", 1.0, 25.0))
+        net.add_node(ThermalNode("sink", float("inf"), 25.0))
+        net.link("hot", "sink", 0.5)
+        net.step(1.0, {"hot": 1e6})
+        # Physically absurd but numerically finite and monotone.
+        assert net.temperature("hot") < 1e7
+
+    def test_phone_survives_alternating_extremes(self):
+        phone = Phone(pack=BigLittlePack.from_chemistries(
+            *__import__("repro.battery.chemistry",
+                        fromlist=["pick_big_little"]).pick_big_little(), 300.0))
+        heavy = DemandSlice(cpu_util=100.0, freq_index=2, screen_on=True,
+                            wifi_kbps=500.0)
+        idle = DemandSlice()
+        for i in range(200):
+            out = phone.step(heavy if i % 2 else idle, 5.0)
+            assert out.energy_j >= 0.0
+            assert out.cpu_temp_c > 0.0
+
+
+class TestMisuse:
+    def test_policy_without_cycle_start(self):
+        with pytest.raises(RuntimeError):
+            CapmanPolicy().decide_battery(None)  # type: ignore[arg-type]
+
+    def test_profiler_dwell_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PowerProfiler().record_dwell(DemandSlice(), 0.0)
+
+    def test_profiler_rejects_negative_power_observation(self):
+        prof = PowerProfiler()
+        seg = Segment(DemandSlice(), 1.0)
+        with pytest.raises(ValueError):
+            prof.observe(seg, seg, measured_power_w=-1.0)
+
+    def test_discharge_rejects_bad_control_dt(self):
+        from repro.capman.baselines import DualPolicy
+
+        trace = record_trace(VideoWorkload(seed=1), 30.0)
+        with pytest.raises(ValueError):
+            run_discharge_cycle(DualPolicy(capacity_mah=50.0), trace,
+                                control_dt=0.0)

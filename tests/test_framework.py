@@ -1,0 +1,85 @@
+"""Tests for the Capman real-time facade."""
+
+import pytest
+
+from repro.battery.chemistry import LCO
+from repro.battery.pack import SingleBatteryPack
+from repro.battery.switch import BatterySelection
+from repro.capman.framework import Capman
+from repro.device.phone import DemandSlice, Phone
+from repro.device.syscalls import SyscallClass, default_vocabulary
+
+
+@pytest.fixture
+def capman():
+    return Capman.create(capacity_mah=300.0)
+
+
+class TestConstruction:
+    def test_create_builds_pack(self, capman):
+        assert capman.state_of_charge == pytest.approx(1.0)
+        assert not capman.depleted
+
+    def test_rejects_single_battery_phone(self):
+        phone = Phone(pack=SingleBatteryPack.from_chemistry(LCO, 300.0))
+        with pytest.raises(TypeError):
+            Capman(phone)
+
+
+class TestTicks:
+    def test_tick_advances_physics(self, capman):
+        tick = capman.tick(DemandSlice(cpu_util=50.0, screen_on=True), 2.0)
+        assert tick.outcome.energy_j > 0.0
+        assert capman.phone.clock_s == 2.0
+        assert capman.state_of_charge < 1.0
+
+    def test_burst_routes_to_little(self, capman):
+        burst = DemandSlice(cpu_util=95.0, freq_index=2, screen_on=True,
+                            wifi_kbps=400.0)
+        vocab = default_vocabulary()
+        wake = vocab.representative(SyscallClass.WAKE_UP)
+        tick = capman.tick(burst, 2.0, syscall=wake)
+        assert tick.selection is BatterySelection.LITTLE
+
+    def test_gentle_routes_to_big(self, capman):
+        gentle = DemandSlice(cpu_util=5.0, screen_on=True)
+        tick = capman.tick(gentle, 2.0)
+        assert tick.selection is BatterySelection.BIG
+
+    def test_learning_accumulates_online(self, capman):
+        vocab = default_vocabulary()
+        wake = vocab.representative(SyscallClass.WAKE_UP)
+        suspend = vocab.representative(SyscallClass.SUSPEND)
+        busy = DemandSlice(cpu_util=90.0, freq_index=2, screen_on=True)
+        idle = DemandSlice()
+        for i in range(40):
+            if i % 2:
+                capman.tick(busy, 2.0, syscall=wake)
+            else:
+                capman.tick(idle, 2.0, syscall=suspend)
+        assert capman.policy.profiler.n_observations >= 20
+        assert capman.policy.scheduler is not None
+
+    def test_tec_engages_when_hot(self, capman):
+        capman.phone.thermal.set_temperature("cpu", 46.0)
+        tick = capman.tick(DemandSlice(cpu_util=90.0, screen_on=True), 2.0)
+        assert tick.tec_on
+
+    def test_control_signal_grows_with_switches(self, capman):
+        burst = DemandSlice(cpu_util=95.0, freq_index=2, screen_on=True,
+                            wifi_kbps=400.0)
+        gentle = DemandSlice(cpu_util=5.0, screen_on=True)
+        for i in range(10):
+            capman.tick(burst if i % 2 else gentle, 2.0)
+        signal = capman.control_signal()
+        assert len(signal) >= 2
+        assert {v for _, v in signal} <= {3.5, 0.3}
+
+    def test_runs_to_depletion(self):
+        capman = Capman.create(capacity_mah=8.0)
+        demand = DemandSlice(cpu_util=60.0, screen_on=True)
+        steps = 0
+        while not capman.depleted and steps < 20_000:
+            capman.tick(demand, 5.0)
+            steps += 1
+        assert capman.state_of_charge < 0.05

@@ -1,0 +1,82 @@
+"""Tests for the bipartite MDP graph."""
+
+import pytest
+
+from repro.core.graph import ActionNode, MDPGraph
+from repro.core.mdp import MDP, random_mdp
+
+
+def _mdp():
+    return MDP(
+        states=["u", "v", "w"],
+        actions=["a", "b"],
+        transitions={
+            ("u", "a"): {"v": 0.5, "w": 0.5},
+            ("u", "b"): {"w": 1.0},
+            ("v", "a"): {"w": 1.0},
+        },
+        rewards={
+            ("u", "a", "v"): 1.0,
+            ("u", "a", "w"): 0.0,
+            ("v", "a", "w"): 0.5,
+        },
+    )
+
+
+class TestGraphStructure:
+    def test_node_counts(self):
+        g = MDPGraph(_mdp())
+        assert g.n_state_nodes == 3
+        assert g.n_action_nodes == 3
+
+    def test_decision_edges(self):
+        g = MDPGraph(_mdp())
+        names = {(n.state, n.action) for n in g.out_actions("u")}
+        assert names == {("u", "a"), ("u", "b")}
+
+    def test_transition_distribution(self):
+        g = MDPGraph(_mdp())
+        node = ActionNode("u", "a")
+        assert g.successor_dist(node) == {"v": 0.5, "w": 0.5}
+
+    def test_mean_reward(self):
+        g = MDPGraph(_mdp())
+        assert g.mean_reward(ActionNode("u", "a")) == pytest.approx(0.5)
+
+    def test_absorbing_states(self):
+        g = MDPGraph(_mdp())
+        assert g.absorbing_states == ["w"]
+        assert g.is_absorbing("w")
+        assert not g.is_absorbing("u")
+
+    def test_out_degrees(self):
+        g = MDPGraph(_mdp())
+        assert g.max_action_out_degree() == 2  # ("u","a") has 2 successors
+        assert g.max_state_out_degree() == 2  # u has 2 actions
+
+    def test_indices_are_dense(self):
+        g = MDPGraph(_mdp())
+        assert sorted(g.state_index(s) for s in g.state_nodes) == [0, 1, 2]
+        assert sorted(g.action_index(n) for n in g.action_nodes) == [0, 1, 2]
+
+
+class TestActionFilter:
+    def test_filter_prunes_action_nodes(self):
+        # Keep only action nodes that can reach state "w".
+        g = MDPGraph(_mdp(), action_filter=lambda s, a, dist: "w" in dist)
+        assert g.n_action_nodes == 3
+        g2 = MDPGraph(_mdp(), action_filter=lambda s, a, dist: "v" in dist)
+        assert g2.n_action_nodes == 1
+
+    def test_filtered_state_keeps_no_decisions(self):
+        g = MDPGraph(_mdp(), action_filter=lambda s, a, dist: False)
+        assert g.n_action_nodes == 0
+        # All states become absorbing in the pruned view.
+        assert len(g.absorbing_states) == 3
+
+    def test_one_to_one_with_mdp(self):
+        mdp = random_mdp(6, 3, seed=9)
+        g = MDPGraph(mdp)
+        assert g.n_action_nodes == len(mdp.transitions)
+        for node in g.action_nodes:
+            assert g.successor_dist(node) == mdp.successors(node.state, node.action)

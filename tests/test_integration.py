@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the paper's claims at test scale.
+
+These run miniature versions of the evaluation (small cells, short
+traces) and assert the *orderings* the paper reports, not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.battery.pack import SingleBatteryPack
+from repro.battery.switch import BatterySelection
+from repro.capman.baselines import DualPolicy, HeuristicPolicy, PracticePolicy
+from repro.capman.controller import CapmanPolicy
+from repro.sim.discharge import SchedulingPolicy, run_discharge_cycle
+from repro.workload.generators import (
+    GeekbenchWorkload,
+    SkewedBurstWorkload,
+    VideoWorkload,
+)
+from repro.workload.onoff import ScreenToggleWorkload
+from repro.workload.traces import record_trace
+
+CAP = 300.0  # per-cell mAh at test scale
+HOURS = 8 * 3600.0
+
+
+def _run(policy, trace, **kw):
+    return run_discharge_cycle(policy, trace, control_dt=2.0,
+                               max_duration_s=HOURS, **kw)
+
+
+class SingleChemistryPolicy(SchedulingPolicy):
+    """Fixed single cell of one chemistry (Figure 2 micro-experiments)."""
+
+    uses_tec = False
+
+    def __init__(self, chemistry, mah=CAP):
+        self.chemistry = chemistry
+        self.mah = mah
+        self.name = chemistry.name
+
+    def build_pack(self):
+        return SingleBatteryPack.from_chemistry(self.chemistry, self.mah)
+
+    def decide_battery(self, ctx):
+        return None
+
+
+class TestFigure2MicroExperiments:
+    def test_little_chemistry_gains_with_toggle_frequency(self):
+        """Figure 2(b) trend: the burst-capable chemistry's relative
+        advantage grows as the on/off frequency rises."""
+        from repro.battery.chemistry import LMO, NCA
+
+        def ratio(period_s):
+            trace = record_trace(ScreenToggleWorkload(period_s, seed=3), 240.0)
+            lmo = _run(SingleChemistryPolicy(LMO), trace).service_time_s
+            nca = _run(SingleChemistryPolicy(NCA), trace).service_time_s
+            return lmo / nca
+
+        assert ratio(4.0) > ratio(60.0) * 0.98
+
+    def test_chemistries_diverge_on_same_workload(self):
+        from repro.battery.chemistry import LMO, NCA
+
+        trace = record_trace(VideoWorkload(seed=3), 240.0)
+        lmo = _run(SingleChemistryPolicy(LMO), trace).service_time_s
+        nca = _run(SingleChemistryPolicy(NCA), trace).service_time_s
+        assert abs(lmo - nca) / max(lmo, nca) > 0.05
+
+
+class TestFigure12Orderings:
+    @pytest.fixture(scope="class")
+    def video_results(self):
+        trace = record_trace(VideoWorkload(seed=19), 300.0)
+        return {
+            "Practice": _run(PracticePolicy(capacity_mah=2 * CAP), trace),
+            "Dual": _run(DualPolicy(capacity_mah=CAP), trace),
+            "CAPMAN": _run(CapmanPolicy(capacity_mah=CAP, replan_interval=20), trace),
+        }
+
+    def test_dual_battery_beats_single(self, video_results):
+        assert (video_results["Dual"].service_time_s
+                > video_results["Practice"].service_time_s)
+
+    def test_capman_at_least_matches_dual(self, video_results):
+        assert (video_results["CAPMAN"].service_time_s
+                >= video_results["Dual"].service_time_s * 0.97)
+
+    def test_capman_doubles_nothing_unfairly(self, video_results):
+        """Sanity: CAPMAN's energy does not exceed the pack's content."""
+        res = video_results["CAPMAN"]
+        # Two cells of CAP mAh at ~4 V: upper bound on extractable J.
+        upper = 2 * CAP / 1000.0 * 3600.0 * 4.3
+        assert res.energy_delivered_j < upper
+
+
+class TestSkewedLoadHeadline:
+    def test_capman_gains_substantially_on_bursty_loads(self):
+        """The paper's headline is quoted under skewed loads: CAPMAN
+        must show a large gain over Practice there.  (The cross-workload
+        *ordering* only emerges at the paper's 2500 mAh scale, where a
+        single cell can sustain Geekbench; it is asserted by the
+        headline benchmark, not at this miniature test scale.)"""
+        skew_trace = record_trace(SkewedBurstWorkload(seed=23), 400.0)
+        geek_trace = record_trace(GeekbenchWorkload(seed=23), 400.0)
+
+        def gain(trace):
+            cap = _run(CapmanPolicy(capacity_mah=CAP, replan_interval=20), trace)
+            base = _run(PracticePolicy(capacity_mah=2 * CAP), trace)
+            return cap.service_time_s / base.service_time_s
+
+        assert gain(skew_trace) > 1.5
+        assert gain(geek_trace) > 1.5
+
+
+class TestThermalIntegration:
+    def test_practice_runs_hotter_than_capman_on_heavy_load(self):
+        trace = record_trace(GeekbenchWorkload(seed=29), 300.0)
+        practice = _run(PracticePolicy(capacity_mah=2 * CAP), trace)
+        capman = _run(CapmanPolicy(capacity_mah=CAP), trace)
+        # CAPMAN has the TEC; Practice does not.
+        assert capman.max_cpu_temp_c <= practice.max_cpu_temp_c + 0.5
+
+    def test_heuristic_counts_many_switches_on_mixed_load(self):
+        from repro.workload.generators import PCMarkWorkload
+
+        trace = record_trace(PCMarkWorkload(seed=31), 300.0)
+        res = _run(HeuristicPolicy(capacity_mah=CAP), trace)
+        assert res.switch_count >= 2

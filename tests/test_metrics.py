@@ -1,0 +1,75 @@
+"""Tests for metrics recording."""
+
+import pytest
+
+from repro.sim.metrics import MetricsRecorder, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert ts.last == (2.0, 20.0)
+        assert len(ts) == 2
+
+    def test_decimation_caps_memory(self):
+        ts = TimeSeries(max_points=100)
+        for i in range(1000):
+            ts.append(float(i), float(i))
+        assert len(ts) <= 100
+
+    def test_decimation_preserves_span(self):
+        ts = TimeSeries(max_points=64)
+        for i in range(500):
+            ts.append(float(i), float(i))
+        assert ts.times[0] == 0.0
+        assert ts.times[-1] >= 490.0
+
+    def test_mean_and_max(self):
+        ts = TimeSeries()
+        for v in (1.0, 2.0, 3.0):
+            ts.append(v, v)
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.maximum() == 3.0
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.append(0.0, 0.0)
+        ts.append(1.0, 10.0)   # 10 over 1s
+        ts.append(11.0, 0.0)   # 0 over 10s
+        assert ts.time_weighted_mean() == pytest.approx(10.0 / 11.0)
+
+    def test_empty_series_behaviour(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        with pytest.raises(IndexError):
+            _ = ts.last
+        with pytest.raises(ValueError):
+            ts.maximum()
+
+
+class TestMetricsRecorder:
+    def test_record_and_fetch(self):
+        m = MetricsRecorder()
+        m.record("soc", 1.0, 0.9)
+        assert m.series("soc").last == (1.0, 0.9)
+        assert m.has_series("soc")
+        assert not m.has_series("nope")
+
+    def test_counters(self):
+        m = MetricsRecorder()
+        m.bump("switches")
+        m.bump("switches", 2.0)
+        assert m.counter("switches") == 3.0
+        assert m.counter("missing") == 0.0
+
+    def test_series_names(self):
+        m = MetricsRecorder()
+        m.record("a", 0.0, 1.0)
+        m.record("b", 0.0, 1.0)
+        assert set(m.series_names) == {"a", "b"}
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRecorder().series("none")

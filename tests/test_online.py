@@ -1,0 +1,93 @@
+"""Tests for the online approximation scheduler."""
+
+import pytest
+
+from repro.core.mdp import MDP, random_mdp
+from repro.core.online import OnlineScheduler
+from repro.core.solver import value_iteration
+
+
+@pytest.fixture
+def mdp():
+    return random_mdp(8, 3, branching=2, seed=21, absorbing=1)
+
+
+class TestDecisions:
+    def test_known_state_gets_optimal_action(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        optimal = value_iteration(mdp, rho=0.8).policy
+        for s in mdp.states:
+            if mdp.available_actions(s):
+                rec = sched.decide(s)
+                assert rec.source == "exact"
+                # The refinement sweeps may flip exact ties; verify the
+                # chosen action's Q is optimal.
+                q = sched.solution.q_values
+                best = max(q[(s, a)] for a in mdp.available_actions(s))
+                assert q[(s, rec.action)] == pytest.approx(best, abs=1e-6)
+
+    def test_absorbing_state_gets_none(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        absorbing = [s for s in mdp.states if mdp.is_absorbing(s)][0]
+        assert sched.decide(absorbing).action is None
+
+    def test_latency_measured(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        rec = sched.decide(mdp.states[0])
+        assert rec.latency_us > 0.0
+        assert sched.mean_latency_us() > 0.0
+
+    def test_stale_state_borrows_from_similar(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        sched.build_similarity_index()
+        live = [s for s in mdp.states if mdp.available_actions(s)]
+        sched.mark_stale(live[0])
+        rec = sched.decide(live[0])
+        assert rec.source in ("similar", "fallback")
+        if rec.source == "similar":
+            assert rec.surrogate is not None
+            assert 0.0 <= rec.delta_s <= 1.0
+
+    def test_recompute_clears_staleness(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        live = [s for s in mdp.states if mdp.available_actions(s)]
+        sched.mark_stale(live[0])
+        sched.recompute()
+        assert sched.decide(live[0]).source == "exact"
+
+    def test_fallback_without_similarity_index(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        live = [s for s in mdp.states if mdp.available_actions(s)]
+        sched.mark_stale(live[0])
+        rec = sched.decide(live[0])
+        assert rec.source == "fallback"
+        assert rec.action in mdp.available_actions(live[0])
+
+
+class TestOverheadModel:
+    def test_sweeps_grow_with_rho(self, mdp):
+        low = OnlineScheduler(mdp, rho=0.1).refinement_sweep_count()
+        high = OnlineScheduler(mdp, rho=0.99).refinement_sweep_count()
+        assert high > low * 10
+
+    def test_faster_device_does_fewer_sweeps(self, mdp):
+        slow = OnlineScheduler(mdp, rho=0.9, compute_speed=1.0)
+        fast = OnlineScheduler(mdp, rho=0.9, compute_speed=2.0)
+        assert fast.refinement_sweep_count() < slow.refinement_sweep_count()
+
+    def test_latency_grows_with_rho(self, mdp):
+        """The Figure 16 effect, measured in real microseconds."""
+        def mean_latency(rho):
+            sched = OnlineScheduler(mdp, rho=rho)
+            for s in mdp.states[:5]:
+                for _ in range(10):
+                    sched.decide(s)
+            return sched.mean_latency_us()
+
+        assert mean_latency(0.99) > mean_latency(0.2)
+
+    def test_invalid_params(self, mdp):
+        with pytest.raises(ValueError):
+            OnlineScheduler(mdp, rho=1.0)
+        with pytest.raises(ValueError):
+            OnlineScheduler(mdp, rho=0.5, compute_speed=0.0)

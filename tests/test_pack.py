@@ -1,0 +1,134 @@
+"""Tests for the big.LITTLE pack and the single-battery pack."""
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import LCO, LMO, NCA
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+from repro.battery.switch import BatterySelection
+
+
+def _pack(mah=60.0, with_supercap=True):
+    return BigLittlePack.from_chemistries(NCA, LMO, mah, with_supercap=with_supercap)
+
+
+class TestBigLittlePack:
+    def test_default_pair(self):
+        pack = BigLittlePack()
+        assert pack.big.chemistry is NCA
+        assert pack.little.chemistry is LMO
+
+    def test_initial_selection_big(self):
+        assert _pack().active is BatterySelection.BIG
+
+    def test_select_switches(self):
+        pack = _pack()
+        assert pack.select(BatterySelection.LITTLE, 0.0)
+        assert pack.active is BatterySelection.LITTLE
+
+    def test_select_depleted_redirects(self):
+        pack = _pack(mah=5.0)
+        while not pack.little.depleted:
+            pack.little.draw_power(3.0, 10.0)
+        pack.select(BatterySelection.LITTLE, 0.0)
+        assert pack.active is BatterySelection.BIG
+
+    def test_draw_serves_demand(self):
+        pack = _pack()
+        res = pack.draw(1.0, 2.0, 0.0)
+        assert res.energy_j == pytest.approx(2.0)
+        assert res.served_by is BatterySelection.BIG
+
+    def test_idle_cell_rests_and_recovers(self):
+        pack = _pack(mah=500.0)
+        # Imbalance the big cell, then let it rest while LITTLE serves.
+        while pack.big.available_amp_s > 50.0:
+            pack.big.draw_power(5.0, 10.0)
+        drained = pack.big.available_amp_s
+        pack.select(BatterySelection.LITTLE, 0.0)
+        for t in range(100):
+            pack.draw(0.3, 5.0, float(t) * 5)
+        assert pack.big.available_amp_s > drained + 5.0
+
+    def test_comparator_failover(self):
+        """When the active cell cannot carry the step, the switch
+        facility hands the load to the other cell."""
+        pack = _pack(mah=200.0)
+        pack.select(BatterySelection.LITTLE, 0.0)
+        steps = 0
+        while not pack.little.depleted and steps < 100_000:
+            pack.little.draw_power(4.0, 10.0)
+            steps += 1
+        res = pack.draw(1.0, 2.0, 100.0)
+        assert res.energy_j == pytest.approx(2.0)
+        assert res.served_by is BatterySelection.BIG
+
+    def test_mid_step_failover_covers_deficit(self):
+        pack = _pack(mah=500.0, with_supercap=False)
+        pack.select(BatterySelection.LITTLE, 0.0)
+        # Leave a whisker of available charge in LITTLE.
+        while pack.little.available_amp_s > 0.4:
+            pack.little.draw_power(3.0, 0.5)
+        res = pack.draw(2.0, 2.0, 50.0)
+        assert res.energy_j == pytest.approx(4.0, rel=0.02)
+
+    def test_pack_nearly_exhausted_after_long_draw(self):
+        pack = _pack(mah=30.0)
+        t = 0.0
+        while not pack.depleted and t < 100_000:
+            pack.draw(1.0, 10.0, t)
+            t += 10.0
+        total = pack.big.capacity_amp_s + pack.little.capacity_amp_s
+        remaining = pack.big.charge_amp_s + pack.little.charge_amp_s
+        assert remaining < 0.02 * total
+
+    def test_state_of_charge_averages_cells(self):
+        pack = _pack()
+        assert pack.state_of_charge == pytest.approx(1.0)
+        pack.draw(2.0, 100.0, 0.0)
+        assert pack.state_of_charge < 1.0
+
+    def test_set_temperature_propagates(self):
+        pack = _pack()
+        pack.set_temperature(40.0)
+        assert pack.big.temperature_c == 40.0
+        assert pack.little.temperature_c == 40.0
+
+    def test_switch_heat_routed_into_draw(self):
+        pack = _pack()
+        pack.select(BatterySelection.LITTLE, 0.0)
+        res = pack.draw(0.5, 1.0, 0.0)
+        # The switch's heat pulse shows up in the first draw after it.
+        assert res.heat_j >= pack.switch.switch_heat_j * 0.9
+
+
+class TestSingleBatteryPack:
+    def test_from_chemistry(self):
+        pack = SingleBatteryPack.from_chemistry(LCO, 100.0)
+        assert pack.cell.chemistry is LCO
+        assert pack.cell.capacity_mah == 100.0
+
+    def test_draw(self):
+        pack = SingleBatteryPack.from_chemistry(LCO, 500.0)
+        res = pack.draw(1.0, 2.0, 0.0)
+        assert res.energy_j == pytest.approx(2.0)
+        assert res.served_by is None
+
+    def test_draw_clamped_by_c_rate(self):
+        # A tiny 2-star cell cannot carry 1 W; delivery is clamped.
+        pack = SingleBatteryPack.from_chemistry(LCO, 100.0)
+        res = pack.draw(1.0, 2.0, 0.0)
+        assert res.energy_j < 2.0
+
+    def test_nearly_exhausted_after_long_draw(self):
+        pack = SingleBatteryPack.from_chemistry(LCO, 30.0)
+        t = 0.0
+        while not pack.depleted and t < 100_000:
+            pack.draw(1.0, 10.0, t)
+            t += 10.0
+        assert pack.cell.charge_amp_s < 0.05 * pack.cell.capacity_amp_s
+
+    def test_set_temperature(self):
+        pack = SingleBatteryPack.from_chemistry(LCO, 100.0)
+        pack.set_temperature(35.0)
+        assert pack.cell.temperature_c == 35.0

@@ -1,0 +1,127 @@
+"""Tests for the assembled phone plant."""
+
+import pytest
+
+from repro.battery.pack import BigLittlePack, SingleBatteryPack
+from repro.battery.chemistry import LCO
+from repro.battery.switch import BatterySelection
+from repro.device.phone import DemandSlice, Phone, derive_device_state
+from repro.device.profiles import HONOR, NEXUS
+from repro.device.states import CpuState, ScreenState, WifiState
+
+
+class TestDemandSlice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandSlice(cpu_util=120.0)
+        with pytest.raises(ValueError):
+            DemandSlice(wifi_kbps=-1.0)
+        with pytest.raises(ValueError):
+            DemandSlice(brightness=999)
+
+
+class TestDeriveDeviceState:
+    def test_idle_dark_is_sleep(self):
+        s = derive_device_state(DemandSlice(), tec_on=False,
+                                battery=BatterySelection.BIG)
+        assert s.cpu is CpuState.SLEEP
+        assert s.screen is ScreenState.OFF
+
+    def test_utilisation_buckets(self):
+        def cpu_of(util):
+            d = DemandSlice(cpu_util=util, screen_on=True)
+            return derive_device_state(d, False, BatterySelection.BIG).cpu
+
+        assert cpu_of(10.0) is CpuState.C2
+        assert cpu_of(50.0) is CpuState.C1
+        assert cpu_of(90.0) is CpuState.C0
+
+    def test_wifi_buckets(self):
+        def wifi_of(kbps):
+            d = DemandSlice(cpu_util=10.0, wifi_kbps=kbps)
+            return derive_device_state(d, False, BatterySelection.BIG).wifi
+
+        assert wifi_of(0.0) is WifiState.IDLE
+        assert wifi_of(150.0) is WifiState.ACCESS
+        assert wifi_of(400.0) is WifiState.SEND
+
+
+class TestPhonePower:
+    def test_sleep_demand_is_floor(self):
+        phone = Phone()
+        p = phone.demand_power_w(DemandSlice())
+        # sleep CPU + dark panel + idle radio.
+        assert p == pytest.approx((55.0 + 22.0 + 60.0) / 1000.0, rel=0.01)
+
+    def test_busier_is_costlier(self):
+        phone = Phone()
+        light = phone.demand_power_w(DemandSlice(cpu_util=10.0, screen_on=True))
+        heavy = phone.demand_power_w(
+            DemandSlice(cpu_util=95.0, freq_index=2, screen_on=True, wifi_kbps=300.0)
+        )
+        assert heavy > light * 2
+
+    def test_profile_scales_power(self):
+        d = DemandSlice(cpu_util=50.0, screen_on=True)
+        nexus = Phone(profile=NEXUS).demand_power_w(d)
+        honor = Phone(profile=HONOR).demand_power_w(d)
+        assert honor < nexus  # Honor's table is scaled by 0.92
+
+
+class TestPhoneStep:
+    def test_step_consumes_energy(self):
+        phone = Phone(pack=BigLittlePack.from_chemistries(
+            *_pair(), capacity_mah=500.0))
+        before = phone.pack.state_of_charge
+        out = phone.step(DemandSlice(cpu_util=80.0, screen_on=True), 10.0)
+        assert out.energy_j > 0.0
+        assert phone.pack.state_of_charge < before
+
+    def test_step_advances_clock(self):
+        phone = Phone()
+        phone.step(DemandSlice(), 5.0)
+        assert phone.clock_s == 5.0
+
+    def test_heavy_load_heats_cpu(self):
+        phone = Phone()
+        for _ in range(200):
+            phone.step(DemandSlice(cpu_util=100.0, freq_index=2, screen_on=True), 10.0)
+        assert phone.cpu_temp_c > 40.0
+
+    def test_tec_cools_the_die(self):
+        hot = Phone()
+        cooled = Phone()
+        cooled.set_tec(True)
+        demand = DemandSlice(cpu_util=100.0, freq_index=2, screen_on=True)
+        for _ in range(200):
+            hot.step(demand, 10.0)
+            cooled.step(demand, 10.0)
+        assert cooled.cpu_temp_c < hot.cpu_temp_c - 2.0
+
+    def test_battery_selection_routes_demand(self):
+        phone = Phone(pack=BigLittlePack.from_chemistries(
+            *_pair(), capacity_mah=500.0))
+        phone.select_battery(BatterySelection.LITTLE)
+        out = phone.step(DemandSlice(cpu_util=50.0, screen_on=True), 2.0)
+        assert out.served_by is BatterySelection.LITTLE
+
+    def test_single_pack_has_no_selection(self):
+        phone = Phone(pack=SingleBatteryPack.from_chemistry(LCO, 500.0))
+        assert phone.active_battery is None
+        assert not phone.select_battery(BatterySelection.LITTLE)
+
+    def test_device_state_exposed(self):
+        phone = Phone()
+        out = phone.step(DemandSlice(cpu_util=90.0, screen_on=True), 1.0)
+        assert out.device_state.cpu is CpuState.C0
+        assert phone.last_device_state == out.device_state
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Phone().step(DemandSlice(), 0.0)
+
+
+def _pair():
+    from repro.battery.chemistry import pick_big_little
+
+    return pick_big_little()

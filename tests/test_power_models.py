@@ -1,0 +1,122 @@
+"""Tests for the Table II power models and the Table III state table."""
+
+import pytest
+
+from repro.battery.switch import BatterySelection
+from repro.device.power import (
+    CpuPowerModel,
+    PAPER_STATE_POWER_MW,
+    ScreenPowerModel,
+    StatePowerTable,
+    WifiPowerModel,
+)
+from repro.device.states import (
+    CpuState,
+    DeviceState,
+    ScreenState,
+    TecState,
+    WifiState,
+)
+
+
+class TestCpuModel:
+    def test_linear_in_utilisation(self):
+        m = CpuPowerModel(gamma_by_freq=(2.0,), constant_mw=50.0)
+        assert m.power_mw(0.0) == 50.0
+        assert m.power_mw(100.0) == 250.0
+        assert m.power_mw(50.0) == pytest.approx(150.0)
+
+    def test_higher_frequency_costs_more(self):
+        m = CpuPowerModel()
+        assert m.power_mw(80.0, m.n_freqs - 1) > m.power_mw(80.0, 0)
+
+    def test_utilisation_bounds(self):
+        m = CpuPowerModel()
+        with pytest.raises(ValueError):
+            m.power_mw(-1.0)
+        with pytest.raises(ValueError):
+            m.power_mw(101.0)
+
+    def test_freq_index_bounds(self):
+        m = CpuPowerModel()
+        with pytest.raises(ValueError):
+            m.power_mw(10.0, m.n_freqs)
+
+
+class TestScreenModel:
+    def test_off_costs_constant(self):
+        m = ScreenPowerModel()
+        assert m.power_mw(200, on=False) == m.constant_mw
+
+    def test_brighter_costs_more(self):
+        m = ScreenPowerModel()
+        assert m.power_mw(255) > m.power_mw(50)
+
+    def test_full_brightness_near_table_iii(self):
+        """Slope anchored so max brightness lands near 790 mW."""
+        m = ScreenPowerModel()
+        assert m.power_mw(255) == pytest.approx(
+            PAPER_STATE_POWER_MW["screen"]["on"], rel=0.05
+        )
+
+    def test_brightness_bounds(self):
+        with pytest.raises(ValueError):
+            ScreenPowerModel().power_mw(300)
+
+
+class TestWifiModel:
+    def test_idle_power(self):
+        m = WifiPowerModel()
+        assert m.power_mw(0.0) == pytest.approx(
+            PAPER_STATE_POWER_MW["wifi"]["idle"]
+        )
+
+    def test_piecewise_regimes(self):
+        m = WifiPowerModel()
+        below = m.power_mw(m.threshold_kbps * 0.99)
+        above = m.power_mw(m.threshold_kbps * 1.5)
+        assert above > below
+
+    def test_high_regime_reaches_access_power(self):
+        m = WifiPowerModel()
+        assert m.power_mw(200.0) == pytest.approx(
+            PAPER_STATE_POWER_MW["wifi"]["access"], rel=0.02
+        )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WifiPowerModel().power_mw(-1.0)
+
+
+class TestStateTable:
+    def test_table_iii_values(self):
+        t = StatePowerTable()
+        assert t.cpu_mw[CpuState.C0] == 612.0
+        assert t.cpu_mw[CpuState.SLEEP] == 55.0
+        assert t.screen_mw[ScreenState.ON] == 790.0
+        assert t.wifi_mw[WifiState.SEND] == 1548.0
+        assert t.tec_mw[TecState.ON] == pytest.approx(29.17)
+
+    def test_state_power_sums_components(self):
+        t = StatePowerTable()
+        s = DeviceState(CpuState.C0, ScreenState.ON, WifiState.SEND,
+                        TecState.ON, BatterySelection.BIG)
+        assert t.state_power_mw(s) == pytest.approx(612.0 + 790.0 + 1548.0 + 29.17)
+        assert t.state_power_w(s) == pytest.approx(2.97917)
+
+    def test_scaled_copy(self):
+        t = StatePowerTable().scaled(0.5)
+        assert t.cpu_mw[CpuState.C0] == pytest.approx(306.0)
+        # TEC power is device-independent hardware, not scaled.
+        assert t.tec_mw[TecState.ON] == pytest.approx(29.17)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StatePowerTable().scaled(0.0)
+
+    def test_paper_max_system_power(self):
+        """Full-tilt system lands near the paper's ~2300+ mW regime."""
+        t = StatePowerTable()
+        s = DeviceState(CpuState.C0, ScreenState.ON, WifiState.ACCESS,
+                        TecState.ON, BatterySelection.BIG)
+        assert t.state_power_mw(s) > 2300.0

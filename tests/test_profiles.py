@@ -1,0 +1,62 @@
+"""Tests for the phone profiles (Nexus / Honor / Lenovo)."""
+
+import pytest
+
+from repro.device.profiles import HONOR, LENOVO, NEXUS, PHONES, PhoneProfile
+from repro.device.power import CpuPowerModel, StatePowerTable
+from repro.device.states import CpuState
+
+
+class TestPresets:
+    def test_three_phones(self):
+        assert set(PHONES) == {"Nexus", "Honor", "Lenovo"}
+
+    def test_cpu_frequencies_in_paper_range(self):
+        """Paper: CPU frequencies from 1040 to 2000 MHz."""
+        for phone in PHONES.values():
+            assert min(phone.cpu_freqs_mhz) >= 1040
+            assert max(phone.cpu_freqs_mhz) <= 2000
+
+    def test_android_versions_in_paper_range(self):
+        """Paper: Android ROM versions 5.0 - 7.1."""
+        for phone in PHONES.values():
+            major = float(phone.android_version.split(".")[0])
+            assert 5 <= major <= 7
+
+    def test_nexus_is_reference(self):
+        assert NEXUS.compute_speed == 1.0
+
+    def test_compute_speeds_distinct(self):
+        speeds = {p.compute_speed for p in PHONES.values()}
+        assert len(speeds) == 3
+
+    def test_nexus_cpu_model_anchored_to_table_iii(self):
+        """100% utilisation at each frequency reproduces C-state power."""
+        m = NEXUS.cpu_model
+        table = NEXUS.power_table
+        assert m.power_mw(100.0, 2) == pytest.approx(table.cpu_mw[CpuState.C0], rel=0.01)
+        assert m.power_mw(100.0, 1) == pytest.approx(table.cpu_mw[CpuState.C1], rel=0.01)
+        assert m.power_mw(100.0, 0) == pytest.approx(table.cpu_mw[CpuState.C2], rel=0.01)
+
+
+class TestValidation:
+    def test_empty_freq_list_rejected(self):
+        with pytest.raises(ValueError):
+            PhoneProfile(
+                name="bad",
+                cpu_freqs_mhz=(),
+                android_version="5.0",
+                power_table=StatePowerTable(),
+                cpu_model=CpuPowerModel(),
+            )
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            PhoneProfile(
+                name="bad",
+                cpu_freqs_mhz=(1000,),
+                android_version="5.0",
+                power_table=StatePowerTable(),
+                cpu_model=CpuPowerModel(),
+                compute_speed=0.0,
+            )

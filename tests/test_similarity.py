@@ -1,0 +1,109 @@
+"""Tests for the Algorithm 1 structural-similarity recursion."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import MDPGraph
+from repro.core.mdp import MDP, random_mdp
+from repro.core.similarity import StructuralSimilarity
+
+
+def _symmetric_mdp():
+    """Two structurally identical states u, v feeding an absorbing w."""
+    return MDP(
+        states=["u", "v", "w"],
+        actions=["a"],
+        transitions={("u", "a"): {"w": 1.0}, ("v", "a"): {"w": 1.0}},
+        rewards={("u", "a", "w"): 0.7, ("v", "a", "w"): 0.7},
+    )
+
+
+def _asymmetric_mdp():
+    """Same shape but very different rewards."""
+    return MDP(
+        states=["u", "v", "w"],
+        actions=["a"],
+        transitions={("u", "a"): {"w": 1.0}, ("v", "a"): {"w": 1.0}},
+        rewards={("u", "a", "w"): 1.0, ("v", "a", "w"): 0.0},
+    )
+
+
+class TestBaseCases:
+    def test_self_similarity_is_one(self):
+        res = StructuralSimilarity(MDPGraph(_symmetric_mdp())).solve()
+        for s in ("u", "v", "w"):
+            assert res.sigma_s(s, s) == 1.0
+
+    def test_absorbing_vs_live_is_zero(self):
+        res = StructuralSimilarity(MDPGraph(_symmetric_mdp())).solve()
+        assert res.sigma_s("u", "w") == 0.0
+        assert res.delta_s("u", "w") == 1.0
+
+    def test_two_absorbing_states_use_d_uv(self):
+        mdp = MDP(
+            states=["s", "t1", "t2"],
+            actions=["a"],
+            transitions={("s", "a"): {"t1": 0.5, "t2": 0.5}},
+        )
+        res_same = StructuralSimilarity(MDPGraph(mdp), d_absorbing=0.0).solve()
+        assert res_same.sigma_s("t1", "t2") == 1.0
+        res_diff = StructuralSimilarity(MDPGraph(mdp), d_absorbing=1.0).solve()
+        assert res_diff.sigma_s("t1", "t2") == 0.0
+
+
+class TestRecursion:
+    def test_identical_states_highly_similar(self):
+        res = StructuralSimilarity(
+            MDPGraph(_symmetric_mdp()), c_s=1.0, c_a=0.9
+        ).solve()
+        assert res.sigma_s("u", "v") == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_rewards_reduce_similarity(self):
+        sym = StructuralSimilarity(MDPGraph(_symmetric_mdp()), c_s=1.0, c_a=0.9).solve()
+        asym = StructuralSimilarity(MDPGraph(_asymmetric_mdp()), c_s=1.0, c_a=0.9).solve()
+        assert asym.sigma_s("u", "v") < sym.sigma_s("u", "v")
+
+    def test_matrices_in_unit_interval(self):
+        mdp = random_mdp(6, 2, branching=2, seed=5, absorbing=1)
+        res = StructuralSimilarity(MDPGraph(mdp), c_s=0.9, c_a=0.9).solve()
+        assert np.all(res.state_sim >= -1e-12)
+        assert np.all(res.state_sim <= 1.0 + 1e-12)
+        assert np.all(res.action_sim >= -1e-12)
+        assert np.all(res.action_sim <= 1.0 + 1e-12)
+
+    def test_symmetry_of_matrices(self):
+        mdp = random_mdp(6, 2, branching=2, seed=6, absorbing=1)
+        res = StructuralSimilarity(MDPGraph(mdp)).solve()
+        assert np.allclose(res.state_sim, res.state_sim.T)
+        assert np.allclose(res.action_sim, res.action_sim.T)
+
+    def test_convergence_reported(self):
+        mdp = random_mdp(5, 2, branching=2, seed=7, absorbing=1)
+        res = StructuralSimilarity(MDPGraph(mdp), tol=1e-5, max_iter=100).solve()
+        assert res.residual < 1e-5
+        assert 1 <= res.iterations <= 100
+
+    def test_termination_under_max_iter_cap(self):
+        mdp = random_mdp(5, 2, branching=2, seed=8)
+        res = StructuralSimilarity(MDPGraph(mdp), max_iter=2).solve()
+        assert res.iterations <= 2
+
+    def test_most_similar_state_lookup(self):
+        res = StructuralSimilarity(MDPGraph(_symmetric_mdp()), c_s=1.0, c_a=0.9).solve()
+        nearest, sim = res.most_similar_state("u")
+        assert nearest == "v"
+        assert sim == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_discounts_rejected(self):
+        g = MDPGraph(_symmetric_mdp())
+        with pytest.raises(ValueError):
+            StructuralSimilarity(g, c_s=0.0)
+        with pytest.raises(ValueError):
+            StructuralSimilarity(g, c_a=1.5)
+        with pytest.raises(ValueError):
+            StructuralSimilarity(g, d_absorbing=2.0)
+
+    def test_c_s_scales_state_similarity(self):
+        half = StructuralSimilarity(MDPGraph(_symmetric_mdp()), c_s=0.5, c_a=0.9).solve()
+        # identical neighbourhoods: sigma = c_s * (1 - 0) = c_s
+        assert half.sigma_s("u", "v") == pytest.approx(0.5, abs=1e-6)

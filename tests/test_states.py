@@ -1,0 +1,56 @@
+"""Tests for device power states (paper Figure 7)."""
+
+from repro.battery.switch import BatterySelection
+from repro.device.states import (
+    CpuState,
+    DeviceState,
+    ScreenState,
+    TecState,
+    WifiState,
+    enumerate_states,
+)
+
+
+class TestDeviceState:
+    def test_default_is_asleep(self):
+        s = DeviceState()
+        assert s.cpu is CpuState.SLEEP
+        assert not s.is_awake
+
+    def test_with_replaces(self):
+        s = DeviceState().with_(cpu=CpuState.C0, screen=ScreenState.ON)
+        assert s.cpu is CpuState.C0
+        assert s.screen is ScreenState.ON
+        # Original is untouched (frozen dataclass).
+        assert DeviceState().cpu is CpuState.SLEEP
+
+    def test_hashable(self):
+        assert len({DeviceState(), DeviceState()}) == 1
+
+    def test_label_roundtrip_components(self):
+        s = DeviceState(CpuState.C0, ScreenState.ON, WifiState.SEND,
+                        TecState.ON, BatterySelection.LITTLE)
+        assert s.label == "C0/on/send/on/LITTLE"
+        assert s.component_tuple() == ("C0", "on", "send", "on", "LITTLE")
+
+    def test_awake_when_screen_on(self):
+        s = DeviceState(cpu=CpuState.SLEEP, screen=ScreenState.ON)
+        assert s.is_awake
+
+    def test_cpu_activity(self):
+        assert CpuState.C0.is_active
+        assert CpuState.C2.is_active
+        assert not CpuState.SLEEP.is_active
+
+
+class TestEnumeration:
+    def test_full_space_size(self):
+        states = list(enumerate_states())
+        # 4 cpu * 2 screen * 3 wifi * 2 tec * 2 battery = 96
+        assert len(states) == 96
+        assert len(set(states)) == 96
+
+    def test_battery_fixed_halves_space(self):
+        states = list(enumerate_states(include_battery=False))
+        assert len(states) == 48
+        assert all(s.battery is BatterySelection.BIG for s in states)

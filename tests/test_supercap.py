@@ -1,0 +1,79 @@
+"""Tests for the supercapacitor output filter."""
+
+import pytest
+
+from repro.battery.supercap import Supercapacitor
+
+
+class TestConstruction:
+    def test_starts_full(self):
+        cap = Supercapacitor()
+        assert cap.voltage == cap.rated_voltage
+        assert cap.headroom_j == pytest.approx(0.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Supercapacitor(capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            Supercapacitor(rated_voltage=-1.0)
+
+
+class TestSmoothing:
+    def test_gentle_demand_passes_through(self):
+        cap = Supercapacitor()
+        out = cap.smooth(0.5, 1.0)
+        # Cap is full, so no refill; battery carries the demand.
+        assert out.battery_power_w == pytest.approx(0.5)
+        assert out.capacitor_energy_j == 0.0
+
+    def test_burst_served_partly_from_cap(self):
+        cap = Supercapacitor(refill_power_w=1.0)
+        out = cap.smooth(3.0, 1.0)
+        assert out.capacitor_energy_j > 0.0
+        assert out.battery_power_w < 3.0
+        # Battery + cap together cover the demand.
+        assert out.battery_power_w + out.capacitor_energy_j == pytest.approx(3.0, rel=1e-6)
+
+    def test_burst_drains_stored_energy(self):
+        cap = Supercapacitor(refill_power_w=1.0)
+        before = cap.stored_energy_j
+        cap.smooth(3.0, 1.0)
+        assert cap.stored_energy_j < before
+
+    def test_refill_after_burst(self):
+        cap = Supercapacitor(refill_power_w=1.5)
+        cap.smooth(4.0, 2.0)  # drain
+        drained = cap.stored_energy_j
+        out = cap.smooth(0.5, 1.0)  # gentle step: battery refills cap
+        assert out.battery_power_w > 0.5
+        assert cap.stored_energy_j > drained
+
+    def test_floor_voltage_protected(self):
+        cap = Supercapacitor(refill_power_w=0.5)
+        for _ in range(200):
+            cap.smooth(5.0, 1.0)
+        assert cap.voltage >= 0.5 * cap.rated_voltage - 1e-6
+
+    def test_esr_heat_on_discharge(self):
+        cap = Supercapacitor(refill_power_w=1.0, esr_ohm=0.1)
+        out = cap.smooth(4.0, 1.0)
+        assert out.heat_j > 0.0
+
+    def test_invalid_inputs_rejected(self):
+        cap = Supercapacitor()
+        with pytest.raises(ValueError):
+            cap.smooth(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            cap.smooth(1.0, 0.0)
+
+    def test_energy_conservation_over_cycle(self):
+        """Energy out of the cap never exceeds what went in + initial."""
+        cap = Supercapacitor(refill_power_w=1.0)
+        initial = cap.stored_energy_j
+        taken = 0.0
+        refilled = 0.0
+        for demand in (3.0, 0.2, 3.0, 0.2, 4.0, 0.1):
+            out = cap.smooth(demand, 1.0)
+            taken += out.capacitor_energy_j
+            refilled += max(0.0, out.battery_power_w - demand) * 1.0
+        assert taken <= initial + refilled + 1e-6

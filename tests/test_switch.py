@@ -1,0 +1,87 @@
+"""Tests for the battery switch facility (paper Figures 9/11)."""
+
+import pytest
+
+from repro.battery.switch import BatterySelection, BatterySwitch, ttl_signal
+
+
+class TestSelection:
+    def test_other(self):
+        assert BatterySelection.BIG.other() is BatterySelection.LITTLE
+        assert BatterySelection.LITTLE.other() is BatterySelection.BIG
+
+
+class TestSwitch:
+    def test_initial_state(self):
+        sw = BatterySwitch()
+        assert sw.active is BatterySelection.BIG
+        assert sw.switch_count == 0
+
+    def test_switch_commits(self):
+        sw = BatterySwitch()
+        assert sw.request(BatterySelection.LITTLE, 1.0)
+        assert sw.active is BatterySelection.LITTLE
+        assert sw.switch_count == 1
+
+    def test_noop_request(self):
+        sw = BatterySwitch()
+        assert not sw.request(BatterySelection.BIG, 1.0)
+        assert sw.switch_count == 0
+
+    def test_costs_charged_per_switch(self):
+        sw = BatterySwitch(switch_energy_j=0.2, switch_heat_j=0.1)
+        sw.request(BatterySelection.LITTLE, 0.0)
+        sw.request(BatterySelection.BIG, 1.0)
+        assert sw.energy_spent_j == pytest.approx(0.4)
+        assert sw.heat_emitted_j == pytest.approx(0.2)
+
+    def test_take_heat_drains(self):
+        sw = BatterySwitch(switch_heat_j=0.1)
+        sw.request(BatterySelection.LITTLE, 0.0)
+        assert sw.take_heat_j() == pytest.approx(0.1)
+        assert sw.take_heat_j() == 0.0
+
+    def test_dwell_guard(self):
+        sw = BatterySwitch(min_dwell_s=5.0)
+        assert sw.request(BatterySelection.LITTLE, 0.0)
+        assert not sw.request(BatterySelection.BIG, 2.0)  # too soon
+        assert sw.active is BatterySelection.LITTLE
+        assert sw.request(BatterySelection.BIG, 6.0)
+
+    def test_event_log_ordered(self):
+        sw = BatterySwitch()
+        sw.request(BatterySelection.LITTLE, 1.0)
+        sw.request(BatterySelection.BIG, 2.0)
+        times = [e.time_s for e in sw.events]
+        assert times == [1.0, 2.0]
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            BatterySwitch(switch_energy_j=-0.1)
+
+
+class TestTtlSignal:
+    def test_flat_signal_without_events(self):
+        points = ttl_signal((), t_end=10.0)
+        assert points == [(0.0, 3.5), (10.0, 3.5)]
+
+    def test_flips_encode_selections(self):
+        sw = BatterySwitch()
+        sw.request(BatterySelection.LITTLE, 2.0)
+        sw.request(BatterySelection.BIG, 5.0)
+        points = ttl_signal(sw.events, t_end=8.0)
+        # Starts high (BIG), drops at 2.0, rises at 5.0.
+        levels = [v for _, v in points]
+        assert levels[0] == 3.5
+        assert 0.3 in levels
+        assert points[-1] == (8.0, 3.5)
+
+    def test_number_of_breakpoints(self):
+        sw = BatterySwitch()
+        for i, sel in enumerate(
+            [BatterySelection.LITTLE, BatterySelection.BIG, BatterySelection.LITTLE]
+        ):
+            sw.request(sel, float(i + 1))
+        points = ttl_signal(sw.events, t_end=10.0)
+        # 1 start + 2 per event + 1 end.
+        assert len(points) == 1 + 2 * 3 + 1

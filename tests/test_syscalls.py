@@ -1,0 +1,87 @@
+"""Tests for the system-call vocabulary (MDP actions)."""
+
+import pytest
+
+from repro.device.states import CpuState, DeviceState, ScreenState, WifiState
+from repro.device.syscalls import (
+    SyscallClass,
+    SyscallVocabulary,
+    default_vocabulary,
+)
+
+
+class TestVocabulary:
+    def test_paper_scale(self):
+        """The paper records over 200 system calls."""
+        assert len(default_vocabulary()) > 200
+
+    def test_unique_names(self):
+        vocab = default_vocabulary()
+        names = [c.name for c in vocab]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        vocab = default_vocabulary()
+        call = vocab.lookup("input_event")
+        assert call.klass is SyscallClass.WAKE_UP
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_vocabulary().lookup("not_a_call")
+
+    def test_every_class_has_calls(self):
+        vocab = default_vocabulary()
+        for klass in SyscallClass:
+            assert vocab.calls_of(klass)
+
+    def test_representative_is_stable(self):
+        vocab = default_vocabulary()
+        a = vocab.representative(SyscallClass.WAKE_UP)
+        b = vocab.representative(SyscallClass.WAKE_UP)
+        assert a == b
+
+    def test_variant_scaling(self):
+        small = SyscallVocabulary(variants_per_name=1)
+        big = SyscallVocabulary(variants_per_name=4)
+        assert len(big) == 4 * len(small)
+
+    def test_invalid_variants_rejected(self):
+        with pytest.raises(ValueError):
+            SyscallVocabulary(variants_per_name=0)
+
+
+class TestEffects:
+    def test_wake_up_effect(self):
+        vocab = default_vocabulary()
+        asleep = DeviceState()
+        awake = vocab.apply(vocab.representative(SyscallClass.WAKE_UP), asleep)
+        assert awake.cpu is CpuState.C0
+        assert awake.screen is ScreenState.ON
+
+    def test_suspend_effect(self):
+        vocab = default_vocabulary()
+        busy = DeviceState(CpuState.C0, ScreenState.ON, WifiState.SEND)
+        idle = vocab.apply(vocab.representative(SyscallClass.SUSPEND), busy)
+        assert idle.cpu is CpuState.SLEEP
+        assert idle.screen is ScreenState.OFF
+        assert idle.wifi is WifiState.IDLE
+
+    def test_timer_is_noop(self):
+        vocab = default_vocabulary()
+        s = DeviceState(CpuState.C1, ScreenState.ON)
+        assert vocab.apply(vocab.representative(SyscallClass.TIMER), s) == s
+
+    def test_net_send_only_touches_wifi(self):
+        vocab = default_vocabulary()
+        s = DeviceState(CpuState.C1, ScreenState.ON, WifiState.ACCESS)
+        out = vocab.apply(vocab.representative(SyscallClass.NET_SEND), s)
+        assert out.wifi is WifiState.SEND
+        assert out.cpu is s.cpu
+        assert out.screen is s.screen
+
+    def test_battery_untouched_by_syscalls(self):
+        vocab = default_vocabulary()
+        s = DeviceState()
+        for klass in SyscallClass:
+            out = vocab.apply(vocab.representative(klass), s)
+            assert out.battery is s.battery

@@ -1,0 +1,97 @@
+"""Tests for the TEC physics (paper Eq. 1 / Figure 6) and actuator."""
+
+import pytest
+
+from repro.thermal.tec import TECModel, TECUnit
+
+
+class TestTECModel:
+    def test_rated_current_near_one_amp(self):
+        """Figure 6: the ATE-31-style part peaks around 1.0 A."""
+        model = TECModel.ate31()
+        assert model.rated_current(25.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_delta_t_curve_peaks_at_rated(self):
+        model = TECModel.ate31()
+        currents = [0.2 * i for i in range(1, 12)]
+        curve = model.delta_t_curve(currents)
+        best_i = max(curve, key=lambda p: p[1])[0]
+        assert best_i == pytest.approx(model.rated_current(25.0), abs=0.21)
+
+    def test_delta_t_rises_then_falls(self):
+        """The Figure 6 shape: dT grows, peaks, then Joule heating wins."""
+        model = TECModel.ate31()
+        low = model.max_delta_t(0.3)
+        rated = model.max_delta_t(model.rated_current(25.0))
+        high = model.max_delta_t(2.0)
+        assert low < rated
+        assert high < rated
+
+    def test_no_cooling_without_current(self):
+        model = TECModel.ate31()
+        assert model.max_delta_t(0.0) == 0.0
+
+    def test_heat_pumped_decreases_with_face_gap(self):
+        model = TECModel.ate31()
+        close = model.heat_pumped_w(1.0, hot_c=30.0, cold_c=28.0)
+        far = model.heat_pumped_w(1.0, hot_c=50.0, cold_c=28.0)
+        assert far < close
+
+    def test_electrical_power_formula(self):
+        model = TECModel(seebeck_v_per_k=0.05, resistance_ohm=10.0,
+                         conductance_w_per_k=0.2)
+        p = model.electrical_power_w(1.0, hot_c=45.0, cold_c=35.0)
+        assert p == pytest.approx(0.05 * 1.0 * 10.0 + 10.0)
+
+
+class TestTECUnit:
+    def test_off_by_default(self):
+        unit = TECUnit()
+        assert not unit.is_on
+        assert unit.power_w() == 0.0
+        assert unit.heat_flows(1.0, 40.0, 35.0) == {}
+
+    def test_paper_drive_power(self):
+        """Table III: the TEC draws 29.17 mW while on."""
+        unit = TECUnit()
+        unit.set_on(True)
+        assert unit.power_w() == pytest.approx(0.02917)
+
+    def test_pumps_from_cold_to_hot(self):
+        unit = TECUnit()
+        unit.set_on(True)
+        flows = unit.heat_flows(1.0, cold_temp_c=48.0, hot_temp_c=35.0)
+        assert flows["cpu"] < 0.0
+        assert flows["surface"] > 0.0
+
+    def test_hot_side_receives_pump_plus_drive(self):
+        unit = TECUnit()
+        unit.set_on(True)
+        flows = unit.heat_flows(1.0, cold_temp_c=48.0, hot_temp_c=35.0)
+        assert flows["surface"] == pytest.approx(-flows["cpu"] + unit.drive_power_w)
+
+    def test_bookkeeping_accumulates(self):
+        unit = TECUnit()
+        unit.set_on(True)
+        unit.heat_flows(2.0, 48.0, 35.0)
+        unit.heat_flows(3.0, 48.0, 35.0)
+        assert unit.on_time_s == pytest.approx(5.0)
+        assert unit.energy_used_j == pytest.approx(5.0 * unit.drive_power_w)
+
+    def test_no_bookkeeping_while_off(self):
+        unit = TECUnit()
+        unit.heat_flows(2.0, 48.0, 35.0)
+        assert unit.on_time_s == 0.0
+
+    def test_cannot_freeze_below_ambient(self):
+        """Pumping throttles off as the cold face nears ambient."""
+        unit = TECUnit()
+        unit.set_on(True)
+        flows = unit.heat_flows(1.0, cold_temp_c=25.5, hot_temp_c=25.0)
+        assert abs(flows.get("cpu", 0.0)) < unit.pump_w * 0.2
+
+    def test_invalid_dt_rejected(self):
+        unit = TECUnit()
+        unit.set_on(True)
+        with pytest.raises(ValueError):
+            unit.heat_flows(0.0, 40.0, 30.0)

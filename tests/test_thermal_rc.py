@@ -1,0 +1,131 @@
+"""Tests for the RC thermal network."""
+
+import math
+
+import pytest
+
+from repro.thermal.rc_network import ThermalNetwork, ThermalNode, phone_thermal_network
+
+
+def _two_node_net(g=0.5, c=10.0):
+    net = ThermalNetwork()
+    net.add_node(ThermalNode("hot", c, 25.0))
+    net.add_node(ThermalNode("ambient", math.inf, 25.0))
+    net.link("hot", "ambient", g)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("a", 1.0))
+        with pytest.raises(ValueError):
+            net.add_node(ThermalNode("a", 1.0))
+
+    def test_link_unknown_node_rejected(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("a", 1.0))
+        with pytest.raises(KeyError):
+            net.link("a", "missing", 1.0)
+
+    def test_nonpositive_conductance_rejected(self):
+        net = _two_node_net()
+        with pytest.raises(ValueError):
+            net.link("hot", "ambient", 0.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        net = ThermalNetwork()
+        with pytest.raises(ValueError):
+            net.add_node(ThermalNode("bad", 0.0))
+
+
+class TestDynamics:
+    def test_steady_state_matches_ohms_law(self):
+        """With P watts into G conductance: dT = P / G."""
+        net = _two_node_net(g=0.5)
+        for _ in range(400):
+            net.step(10.0, {"hot": 1.0})
+        assert net.temperature("hot") == pytest.approx(25.0 + 2.0, abs=0.05)
+
+    def test_boundary_node_fixed(self):
+        net = _two_node_net()
+        net.step(100.0, {"hot": 5.0})
+        assert net.temperature("ambient") == 25.0
+
+    def test_cooling_injection_lowers_temperature(self):
+        net = _two_node_net()
+        net.step(200.0, {"hot": -0.5})
+        assert net.temperature("hot") < 25.0
+
+    def test_no_injection_stays_at_ambient(self):
+        net = _two_node_net()
+        net.step(100.0, {})
+        assert net.temperature("hot") == pytest.approx(25.0)
+
+    def test_heat_flows_downhill(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("a", 5.0, 50.0))
+        net.add_node(ThermalNode("b", 5.0, 20.0))
+        net.link("a", "b", 0.5)
+        net.step(5.0, {})
+        assert net.temperature("a") < 50.0
+        assert net.temperature("b") > 20.0
+
+    def test_energy_conservation_isolated_pair(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("a", 4.0, 60.0))
+        net.add_node(ThermalNode("b", 6.0, 20.0))
+        net.link("a", "b", 0.3)
+        before = 4.0 * 60.0 + 6.0 * 20.0
+        net.step(50.0, {})
+        after = 4.0 * net.temperature("a") + 6.0 * net.temperature("b")
+        assert after == pytest.approx(before, rel=1e-6)
+
+    def test_equilibration_of_isolated_pair(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("a", 5.0, 60.0))
+        net.add_node(ThermalNode("b", 5.0, 20.0))
+        net.link("a", "b", 0.5)
+        for _ in range(100):
+            net.step(10.0, {})
+        assert net.temperature("a") == pytest.approx(40.0, abs=0.1)
+        assert net.temperature("b") == pytest.approx(40.0, abs=0.1)
+
+    def test_unknown_injection_node_rejected(self):
+        net = _two_node_net()
+        with pytest.raises(KeyError):
+            net.step(1.0, {"nope": 1.0})
+
+    def test_nonpositive_dt_rejected(self):
+        net = _two_node_net()
+        with pytest.raises(ValueError):
+            net.step(0.0, {})
+
+    def test_stability_with_large_dt(self):
+        """The integrator substeps: even huge dt cannot blow up."""
+        net = _two_node_net(g=2.0, c=1.0)
+        net.step(1000.0, {"hot": 0.5})
+        assert 25.0 <= net.temperature("hot") <= 25.26
+
+
+class TestPhonePreset:
+    def test_nodes_present(self):
+        net = phone_thermal_network()
+        assert set(net.node_names) == {"cpu", "battery", "surface", "ambient"}
+
+    def test_full_tilt_cpu_crosses_hot_spot_line(self):
+        """A sustained Table III C0 draw should push the die past 45C."""
+        net = phone_thermal_network()
+        for _ in range(2000):
+            net.step(10.0, {"cpu": 0.612, "surface": 0.5})
+        assert net.temperature("cpu") > 45.0
+
+    def test_moderate_load_stays_cool(self):
+        net = phone_thermal_network()
+        for _ in range(2000):
+            net.step(10.0, {"cpu": 0.24, "surface": 0.4})
+        assert net.temperature("cpu") < 42.0
+
+    def test_ambient_override(self):
+        net = phone_thermal_network(ambient_c=30.0)
+        assert net.temperature("ambient") == 30.0

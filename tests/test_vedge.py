@@ -1,0 +1,62 @@
+"""Tests for the V-edge analysis (paper Figure 3)."""
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import LMO, NCA
+from repro.battery.vedge import analyze_vedge, simulate_step_response
+
+
+def _trace(chem, power=3.0, step=30.0, rest=120.0):
+    return simulate_step_response(Cell(chem), power, step, rest, dt=0.1)
+
+
+class TestStepResponse:
+    def test_trace_spans_step_and_rest(self):
+        tr = _trace(NCA)
+        assert tr.times[-1] == pytest.approx(150.0, abs=0.2)
+        assert len(tr.times) == len(tr.voltages)
+
+    def test_voltage_drops_on_step(self):
+        tr = _trace(NCA)
+        assert min(tr.voltages) < tr.initial_voltage
+
+    def test_vedge_shape_recovers_below_initial(self):
+        """The defining V-edge: recovery settles below the start."""
+        tr = _trace(NCA)
+        final = tr.voltages[-1]
+        lowest = min(tr.voltages)
+        assert lowest < final <= tr.initial_voltage + 1e-6
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_step_response(Cell(NCA), 1.0, 10.0, 10.0, dt=0.0)
+
+
+class TestAnalysis:
+    def test_areas_nonnegative(self):
+        a = analyze_vedge(_trace(NCA))
+        assert a.d1 >= 0.0
+        assert a.d2 >= 0.0
+        assert a.d3 >= 0.0
+
+    def test_little_minimises_d1(self):
+        """The LITTLE battery sags less on the step (smaller D1)."""
+        a_big = analyze_vedge(_trace(NCA))
+        a_little = analyze_vedge(_trace(LMO))
+        assert a_little.d1 < a_big.d1
+
+    def test_big_maximises_d3(self):
+        """The big battery has the deeper, longer recovery (larger D3)."""
+        a_big = analyze_vedge(_trace(NCA))
+        a_little = analyze_vedge(_trace(LMO))
+        assert a_big.d3 > a_little.d3
+
+    def test_saving_potential_is_d3_minus_d1(self):
+        a = analyze_vedge(_trace(NCA))
+        assert a.saving_potential == pytest.approx(a.d3 - a.d1)
+
+    def test_no_rest_gives_zero_d3(self):
+        tr = simulate_step_response(Cell(NCA), 2.0, 20.0, 0.0, dt=0.1)
+        a = analyze_vedge(tr)
+        assert a.d3 == 0.0

@@ -1,0 +1,145 @@
+"""Tests for the workload generators."""
+
+import itertools
+
+import pytest
+
+from repro.workload.base import Segment
+from repro.workload.generators import (
+    EtaStaticWorkload,
+    GeekbenchWorkload,
+    IdleWorkload,
+    PCMarkWorkload,
+    SkewedBurstWorkload,
+    VideoWorkload,
+)
+from repro.workload.onoff import ScreenToggleWorkload
+from repro.device.phone import DemandSlice
+
+
+def _take(workload, n=50):
+    return list(itertools.islice(workload.segments(), n))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: GeekbenchWorkload(seed=3),
+            lambda: PCMarkWorkload(seed=3),
+            lambda: VideoWorkload(seed=3),
+            lambda: EtaStaticWorkload(0.5, seed=3),
+            lambda: SkewedBurstWorkload(seed=3),
+            lambda: ScreenToggleWorkload(30.0, seed=3),
+            lambda: IdleWorkload(seed=3),
+        ],
+    )
+    def test_same_seed_same_stream(self, factory):
+        a = _take(factory(), 30)
+        b = _take(factory(), 30)
+        assert [(s.duration_s, s.demand.cpu_util) for s in a] == [
+            (s.duration_s, s.demand.cpu_util) for s in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = _take(PCMarkWorkload(seed=1), 30)
+        b = _take(PCMarkWorkload(seed=2), 30)
+        assert [s.duration_s for s in a] != [s.duration_s for s in b]
+
+
+class TestGeekbench:
+    def test_saturates_cpu(self):
+        for seg in _take(GeekbenchWorkload(seed=0), 20):
+            assert seg.demand.cpu_util > 85.0
+            assert seg.demand.screen_on
+
+    def test_top_frequency(self):
+        assert all(s.demand.freq_index == 2 for s in _take(GeekbenchWorkload(), 10))
+
+
+class TestPCMark:
+    def test_mixes_work_and_pauses(self):
+        utils = [s.demand.cpu_util for s in _take(PCMarkWorkload(seed=1), 60)]
+        assert max(utils) > 70.0
+        assert min(utils) < 20.0
+
+    def test_segments_carry_syscalls(self):
+        assert all(s.syscall is not None for s in _take(PCMarkWorkload(seed=1), 30))
+
+
+class TestVideo:
+    def test_steady_medium_compute(self):
+        plays = [s for s in _take(VideoWorkload(seed=1), 40)
+                 if s.demand.wifi_kbps < 100.0]
+        assert plays
+        for seg in plays:
+            assert 20.0 < seg.demand.cpu_util < 60.0
+
+    def test_periodic_fetch_bursts(self):
+        bursts = [s for s in _take(VideoWorkload(seed=1), 40)
+                  if s.demand.wifi_kbps > 200.0]
+        assert len(bursts) >= 5
+
+
+class TestEtaStatic:
+    def test_eta_bounds(self):
+        with pytest.raises(ValueError):
+            EtaStaticWorkload(1.5)
+
+    def test_name_encodes_eta(self):
+        assert EtaStaticWorkload(0.8).name == "eta-80%"
+
+    def test_eta_zero_is_video_like(self):
+        segs = _take(EtaStaticWorkload(0.0, seed=4), 40)
+        # Pure video mixes stay in the video utilisation band.
+        assert all(s.demand.cpu_util < 60.0 for s in segs)
+
+    def test_eta_one_contains_heavy_work(self):
+        segs = _take(EtaStaticWorkload(1.0, seed=4), 40)
+        assert any(s.demand.cpu_util > 70.0 for s in segs)
+
+
+class TestSkewedBurst:
+    def test_alternates_sleep_and_burst(self):
+        segs = _take(SkewedBurstWorkload(seed=2), 20)
+        sleeps = [s for s in segs if not s.demand.screen_on]
+        bursts = [s for s in segs if s.demand.screen_on]
+        assert sleeps and bursts
+
+    def test_heavy_tail_gaps(self):
+        segs = _take(SkewedBurstWorkload(seed=2), 400)
+        gaps = [s.duration_s for s in segs if not s.demand.screen_on]
+        mean = sum(gaps) / len(gaps)
+        assert max(gaps) > 4 * mean  # heavy-tailed clustering
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SkewedBurstWorkload(pareto_shape=0.9)
+
+
+class TestScreenToggle:
+    def test_cycle_duration(self):
+        segs = _take(ScreenToggleWorkload(period_s=20.0, seed=1), 3)
+        assert sum(s.duration_s for s in segs) == pytest.approx(20.0)
+
+    def test_wake_burst_first(self):
+        seg = _take(ScreenToggleWorkload(period_s=20.0, seed=1), 1)[0]
+        assert seg.demand.screen_on
+        assert seg.demand.cpu_util > 60.0
+
+    def test_off_fraction(self):
+        segs = _take(ScreenToggleWorkload(period_s=60.0, on_fraction=0.25, seed=1), 3)
+        off = [s for s in segs if not s.demand.screen_on]
+        assert off[0].duration_s == pytest.approx(45.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScreenToggleWorkload(period_s=0.0)
+        with pytest.raises(ValueError):
+            ScreenToggleWorkload(on_fraction=1.0)
+
+
+class TestSegment:
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(DemandSlice(), 0.0)
