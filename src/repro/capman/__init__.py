@@ -6,7 +6,7 @@ from .baselines import DualPolicy, HeuristicPolicy, OraclePolicy, PracticePolicy
 from .calibration import CalibrationPoint, RuntimeCalibrator
 from .controller import CapmanPolicy
 from .framework import Capman, CapmanTick
-from .profiler import BatteryCostModel, PowerProfiler, device_key_of
+from .profiler import BatteryCostModel, PowerProfiler, device_key_cache_info, device_key_of
 
 __all__ = [
     "Capman",
@@ -22,4 +22,5 @@ __all__ = [
     "BatteryCostModel",
     "PowerProfiler",
     "device_key_of",
+    "device_key_cache_info",
 ]

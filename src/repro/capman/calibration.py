@@ -56,12 +56,18 @@ class RuntimeCalibrator:
         self.precision = precision
 
     def measure(self, rho: float, n_decisions: int = 64, seed: int = 0) -> CalibrationPoint:
-        """Time ``n_decisions`` online decisions at a given ``rho``."""
+        """Time ``n_decisions`` online decisions at a given ``rho``.
+
+        The scheduler's decision cache is disabled here: calibration
+        quantifies the *worst-case* (cold) per-decision overhead that
+        Figure 16 plots, not the amortised cached latency.
+        """
         scheduler = OnlineScheduler(
             self.mdp,
             rho=rho,
             precision=self.precision,
             compute_speed=self.compute_speed,
+            decision_cache=False,
         )
         rng = np.random.default_rng(seed)
         live_states = [s for s in self.mdp.states if self.mdp.available_actions(s)]

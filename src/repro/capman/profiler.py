@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..battery.chemistry import BatteryRole, Chemistry, pick_big_little
@@ -36,6 +37,7 @@ from ..workload.traces import Trace
 __all__ = [
     "DeviceKey",
     "device_key_of",
+    "device_key_cache_info",
     "BatteryCostModel",
     "PowerProfiler",
 ]
@@ -46,12 +48,29 @@ DeviceKey = Tuple[str, str, str]
 _CHOICES: Tuple[str, str] = ("use_big", "use_little")
 
 
-def device_key_of(demand: DemandSlice, wifi_threshold_kbps: float = 100.0) -> DeviceKey:
-    """Map a demand slice onto the profiler's device-state key."""
+@lru_cache(maxsize=8192)
+def _device_key_cached(demand: DemandSlice, wifi_threshold_kbps: float) -> DeviceKey:
     state = derive_device_state(demand, tec_on=False,
                                 battery=BatterySelection.BIG,
                                 wifi_threshold_kbps=wifi_threshold_kbps)
     return (state.cpu.value, state.screen.value, state.wifi.value)
+
+
+def device_key_of(demand: DemandSlice, wifi_threshold_kbps: float = 100.0) -> DeviceKey:
+    """Map a demand slice onto the profiler's device-state key.
+
+    The derivation is pure in (demand, threshold) and runs on every
+    control step -- observation, dwell accounting, and the scheduler's
+    state lookup all route through it -- so results are memoised
+    (``DemandSlice`` is frozen/hashable).  ``device_key_cache_info()``
+    exposes the hit/miss counters.
+    """
+    return _device_key_cached(demand, wifi_threshold_kbps)
+
+
+def device_key_cache_info():
+    """Hit/miss statistics of the memoised device-key derivation."""
+    return _device_key_cached.cache_info()
 
 
 def _selection_of(choice: str) -> BatterySelection:

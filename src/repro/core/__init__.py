@@ -9,14 +9,14 @@ from .bounds import (
     verify_action_bound,
     verify_value_bound,
 )
-from .emd import emd, emd_1d, emd_dicts
+from .emd import EMDStats, PairwiseEMD, emd, emd_1d, emd_dicts
 from .graph import ActionNode, MDPGraph
-from .hausdorff import directed_hausdorff, hausdorff
+from .hausdorff import directed_hausdorff, hausdorff, hausdorff_matrix
 from .mdp import MDP, random_mdp
-from .minflow import MinCostFlow, transport
-from .online import DecisionRecord, OnlineScheduler
+from .minflow import MinCostFlow, transport, transport_dense
+from .online import DecisionRecord, OnlineScheduler, SchedulerStats
 from .policy import Policy, RandomPolicy, TabularPolicy, rollout_return
-from .similarity import SimilarityResult, StructuralSimilarity
+from .similarity import SimilarityResult, SolverStats, StructuralSimilarity
 from .solver import Solution, policy_evaluation, policy_iteration, value_iteration
 
 __all__ = [
@@ -29,6 +29,8 @@ __all__ = [
     "value_difference_bound",
     "verify_action_bound",
     "verify_value_bound",
+    "EMDStats",
+    "PairwiseEMD",
     "emd",
     "emd_1d",
     "emd_dicts",
@@ -36,17 +38,21 @@ __all__ = [
     "MDPGraph",
     "directed_hausdorff",
     "hausdorff",
+    "hausdorff_matrix",
     "MDP",
     "random_mdp",
     "MinCostFlow",
     "transport",
+    "transport_dense",
     "DecisionRecord",
     "OnlineScheduler",
+    "SchedulerStats",
     "Policy",
     "RandomPolicy",
     "TabularPolicy",
     "rollout_return",
     "SimilarityResult",
+    "SolverStats",
     "StructuralSimilarity",
     "Solution",
     "policy_evaluation",

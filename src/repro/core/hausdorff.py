@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["directed_hausdorff", "hausdorff"]
+import numpy as np
+
+__all__ = ["directed_hausdorff", "hausdorff", "hausdorff_matrix"]
 
 T = TypeVar("T")
 
@@ -42,4 +44,21 @@ def hausdorff(
     return max(
         directed_hausdorff(a, b, distance),
         directed_hausdorff(b, a, distance),
+    )
+
+
+def hausdorff_matrix(pairwise: np.ndarray) -> float:
+    """Symmetric Hausdorff distance from a precomputed distance matrix.
+
+    ``pairwise[x, y]`` is ``d(a[x], b[y])``; this is the vectorised
+    form the fast Algorithm 1 path uses once the action-distance matrix
+    exists.  Empty-set conventions match :func:`directed_hausdorff`.
+    """
+    rows, cols = pairwise.shape
+    if rows == 0 and cols == 0:
+        return 0.0
+    if rows == 0 or cols == 0:
+        return 1.0
+    return float(
+        max(pairwise.min(axis=1).max(), pairwise.min(axis=0).max())
     )

@@ -27,7 +27,29 @@ from .mdp import MDP, Action, State
 from .similarity import SimilarityResult, StructuralSimilarity
 from .solver import Solution, value_iteration
 
-__all__ = ["DecisionRecord", "OnlineScheduler"]
+__all__ = ["DecisionRecord", "OnlineScheduler", "SchedulerStats"]
+
+
+@dataclass
+class SchedulerStats:
+    """Hit/miss counters and per-phase timing of the online path."""
+
+    #: Decisions answered from the O(1) decision cache.
+    cache_hits: int = 0
+    #: Decisions that ran the full lookup/similarity/fallback path.
+    cache_misses: int = 0
+    #: Seconds spent in per-decision Bellman refinement sweeps.
+    refine_s: float = 0.0
+    #: Seconds spent resolving decisions (lookup, similarity, fallback).
+    lookup_s: float = 0.0
+    #: Seconds spent in background work (similarity index, re-solves).
+    background_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of decisions served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -62,6 +84,15 @@ class OnlineScheduler:
     compute_speed:
         Relative device speed (divides the refinement budget's work,
         modelling the Nexus/Honor/Lenovo differences of Figure 16).
+    decision_cache:
+        Memoise resolved decisions so repeated states answer in O(1)
+        without re-running the refinement budget (default on).  The
+        cache is invalidated by :meth:`mark_stale`, :meth:`recompute`
+        and :meth:`build_similarity_index`.  Disable it to measure the
+        raw per-decision overhead (the Figure 16 calibration does).
+    fast_similarity:
+        Solver flavour for :meth:`build_similarity_index`; the default
+        uses the vectorised Algorithm 1 path.
     """
 
     def __init__(
@@ -72,6 +103,8 @@ class OnlineScheduler:
         compute_speed: float = 1.0,
         similarity_tol: float = 1e-3,
         similarity_max_iter: int = 25,
+        decision_cache: bool = True,
+        fast_similarity: bool = True,
     ) -> None:
         if not 0.0 <= rho < 1.0:
             raise ValueError("rho must lie in [0, 1)")
@@ -86,32 +119,47 @@ class OnlineScheduler:
         self.similarity: Optional[SimilarityResult] = None
         self._similarity_tol = similarity_tol
         self._similarity_max_iter = similarity_max_iter
+        self._fast_similarity = fast_similarity
         self._stale: set = set()
         self.decisions: List[DecisionRecord] = []
+        self.stats = SchedulerStats()
+        self._cache_enabled = decision_cache
+        #: state -> (action, source, surrogate, delta_s) of a resolved decision.
+        self._decision_cache: Dict[State, Tuple[Optional[Action], str, Optional[State], float]] = {}
 
     # ------------------------------------------------------------------
     # Background work
     # ------------------------------------------------------------------
     def build_similarity_index(self) -> SimilarityResult:
         """Run Algorithm 1 in the background (bound instantiation)."""
+        started = time.perf_counter()
         solver = StructuralSimilarity(
             self.graph,
             c_s=1.0,
             c_a=max(self.rho, 1e-6),
             tol=self._similarity_tol,
             max_iter=self._similarity_max_iter,
+            fast=self._fast_similarity,
         )
         self.similarity = solver.solve()
+        self._decision_cache.clear()
+        self.stats.background_s += time.perf_counter() - started
         return self.similarity
 
     def mark_stale(self, state: State) -> None:
         """Flag a state whose statistics changed since the last solve."""
         self._stale.add(state)
+        # Conservative: surrogate decisions may reference the stale
+        # state, so the whole memo goes, not just this entry.
+        self._decision_cache.clear()
 
     def recompute(self) -> None:
         """Full background refresh: re-solve values, clear staleness."""
+        started = time.perf_counter()
         self.solution = value_iteration(self.mdp, self.rho)
         self._stale.clear()
+        self._decision_cache.clear()
+        self.stats.background_s += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Online path
@@ -122,10 +170,25 @@ class OnlineScheduler:
         Known fresh states answer from the solved policy; stale or
         unknown states borrow from the most similar known state when a
         similarity index exists, falling back to a one-step greedy
-        choice otherwise.
+        choice otherwise.  With the decision cache on, a state seen
+        before answers in O(1) from the memo.
         """
         started = time.perf_counter()
+
+        if self._cache_enabled:
+            cached = self._decision_cache.get(state)
+            if cached is not None:
+                action, source, surrogate, delta = cached
+                self.stats.cache_hits += 1
+                latency_us = (time.perf_counter() - started) * 1e6
+                record = DecisionRecord(state, action, source, surrogate, delta, latency_us)
+                self.decisions.append(record)
+                return record
+        self.stats.cache_misses += 1
+
         self._refinement_sweeps(state)
+        refined = time.perf_counter()
+        self.stats.refine_s += refined - started
 
         source = "exact"
         surrogate: Optional[State] = None
@@ -149,7 +212,12 @@ class OnlineScheduler:
             action = self._greedy(state)
             source = "fallback"
 
-        latency_us = (time.perf_counter() - started) * 1e6
+        if self._cache_enabled:
+            self._decision_cache[state] = (action, source, surrogate, delta)
+
+        now = time.perf_counter()
+        self.stats.lookup_s += now - refined
+        latency_us = (now - started) * 1e6
         record = DecisionRecord(state, action, source, surrogate, delta, latency_us)
         self.decisions.append(record)
         return record

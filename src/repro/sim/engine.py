@@ -8,6 +8,7 @@ events that constitute MDP actions.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
@@ -43,28 +44,47 @@ def iter_control_steps(
     Each segment is cut into ``control_dt`` pieces (final piece takes
     the remainder).  Iteration stops when the stream ends or
     ``max_duration_s`` is reached.
+
+    Step starts are computed as ``segment_base + k * control_dt`` and
+    segment bases accumulate through a Neumaier-compensated sum, so
+    day-long traces stay drift-free: the naive ``now += dt`` recurrence
+    loses an ulp per step and eventually leaks a spurious ~1e-9 s step
+    at a segment tail (e.g. one hour sliced at 0.1 s).
     """
     if control_dt <= 0:
         raise ValueError("control_dt must be positive")
-    now = 0.0
+    base = 0.0  # running sum of completed segment durations
+    comp = 0.0  # Neumaier compensation term for ``base``
     for segment in segments:
-        remaining = segment.duration_s
+        duration = segment.duration_s
+        # Exact full-step count from the duration alone; the 1e-9 slack
+        # absorbs quotients like 3600.0/0.1 that land just under an
+        # integer.  Tails shorter than 1e-9 s are rounding residue, not
+        # real steps.
+        n_full = int(math.floor(duration / control_dt + 1e-9))
+        tail = duration - n_full * control_dt
+        if tail <= 1e-9:
+            tail = 0.0
+        start0 = base + comp
         first = True
-        while remaining > 1e-9:
-            if max_duration_s is not None and now >= max_duration_s:
-                return
-            dt = min(control_dt, remaining)
+        for k in range(n_full + (1 if tail else 0)):
+            start = start0 + k * control_dt
+            dt = control_dt if k < n_full else tail
             if max_duration_s is not None:
-                dt = min(dt, max_duration_s - now)
-            if dt <= 0:
-                return
+                if max_duration_s - start <= 1e-9:
+                    return
+                dt = min(dt, max_duration_s - start)
             yield ControlStep(
-                start_s=now,
+                start_s=start,
                 dt=dt,
                 segment=segment,
                 syscall=segment.syscall if first else None,
                 segment_start=first,
             )
-            now += dt
-            remaining -= dt
             first = False
+        t = base + duration
+        if abs(base) >= abs(duration):
+            comp += (base - t) + duration
+        else:
+            comp += (duration - t) + base
+        base = t

@@ -53,3 +53,40 @@ class TestSlicing:
         steps = list(iter_control_steps(_segments(), control_dt=1.0))
         assert steps[0].segment.demand.cpu_util == 10.0
         assert steps[-1].segment.demand.cpu_util == 90.0
+
+
+class TestFloatDrift:
+    """Regressions for the ``now += dt`` accumulation drift.
+
+    The old loop advanced time by repeated addition; over an hour of
+    0.1 s steps the rounding residue exceeded the 1e-9 tail threshold
+    and a spurious ~2e-9 s step appeared at the segment boundary.
+    """
+
+    def test_one_hour_at_100ms_has_exact_step_count(self):
+        segs = [Segment(DemandSlice(cpu_util=10.0), 3600.0)]
+        steps = list(iter_control_steps(segs, control_dt=0.1))
+        assert len(steps) == 36000
+        assert min(s.dt for s in steps) > 1e-6
+
+    def test_24h_trace_has_no_spurious_steps(self):
+        segs = [Segment(DemandSlice(cpu_util=10.0), 3600.0) for _ in range(24)]
+        steps = list(iter_control_steps(segs, control_dt=0.1))
+        assert len(steps) == 24 * 36000
+        assert min(s.dt for s in steps) > 1e-6
+        assert steps[-1].start_s + steps[-1].dt == pytest.approx(86400.0, abs=1e-6)
+
+    def test_many_irregular_segments_do_not_drift(self):
+        segs = [Segment(DemandSlice(cpu_util=10.0), 7.3) for _ in range(13000)]
+        steps = list(iter_control_steps(segs, 1.0, max_duration_s=86400.0))
+        assert all(s.dt > 1e-6 for s in steps)
+        assert sum(s.dt for s in steps) == pytest.approx(86400.0, abs=1e-6)
+        starts = [s.start_s for s in steps if s.segment_start]
+        # Segment bases follow the compensated sum, not drifted floats.
+        assert starts[-1] == pytest.approx(7.3 * (len(starts) - 1), abs=1e-6)
+
+    def test_max_duration_never_emits_sliver_step(self):
+        segs = [Segment(DemandSlice(cpu_util=10.0), 10.0)]
+        steps = list(iter_control_steps(segs, 0.1, max_duration_s=3.0))
+        assert sum(s.dt for s in steps) == pytest.approx(3.0)
+        assert all(s.dt > 1e-6 for s in steps)

@@ -91,3 +91,77 @@ class TestOverheadModel:
             OnlineScheduler(mdp, rho=1.0)
         with pytest.raises(ValueError):
             OnlineScheduler(mdp, rho=0.5, compute_speed=0.0)
+
+
+class TestDecisionCache:
+    def test_repeat_decisions_hit_cache(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        state = mdp.states[0]
+        first = sched.decide(state)
+        second = sched.decide(state)
+        assert sched.stats.cache_misses == 1
+        assert sched.stats.cache_hits == 1
+        assert sched.stats.hit_rate == pytest.approx(0.5)
+        assert second.action == first.action
+        assert second.source == first.source
+
+    def test_cached_decision_skips_refinement_time(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.99)
+        state = mdp.states[0]
+        sched.decide(state)
+        refine_after_miss = sched.stats.refine_s
+        for _ in range(5):
+            sched.decide(state)
+        assert sched.stats.refine_s == refine_after_miss
+
+    def test_cache_matches_uncached_actions(self, mdp):
+        cached = OnlineScheduler(mdp, rho=0.8)
+        cold = OnlineScheduler(mdp, rho=0.8, decision_cache=False)
+        for s in mdp.states:
+            for _ in range(3):
+                assert cached.decide(s).action == cold.decide(s).action
+        assert cached.stats.cache_hits > 0
+        assert cold.stats.cache_hits == 0
+
+    def test_mark_stale_invalidates(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        sched.build_similarity_index()
+        live = [s for s in mdp.states if mdp.available_actions(s)]
+        sched.decide(live[0])
+        sched.mark_stale(live[0])
+        rec = sched.decide(live[0])
+        # Stale state re-resolves (borrowing, not the cached "exact").
+        assert rec.source in ("similar", "fallback")
+        assert sched.stats.cache_misses == 2
+
+    def test_recompute_invalidates(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        state = mdp.states[0]
+        sched.decide(state)
+        sched.recompute()
+        sched.decide(state)
+        assert sched.stats.cache_misses == 2
+        assert sched.stats.background_s > 0.0
+
+    def test_build_similarity_index_invalidates(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        state = mdp.states[0]
+        sched.decide(state)
+        sched.build_similarity_index()
+        sched.decide(state)
+        assert sched.stats.cache_misses == 2
+
+    def test_cache_can_be_disabled(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8, decision_cache=False)
+        state = mdp.states[0]
+        sched.decide(state)
+        sched.decide(state)
+        assert sched.stats.cache_hits == 0
+        assert sched.stats.cache_misses == 2
+
+    def test_phase_timing_accumulates(self, mdp):
+        sched = OnlineScheduler(mdp, rho=0.8)
+        for s in mdp.states:
+            sched.decide(s)
+        assert sched.stats.refine_s >= 0.0
+        assert sched.stats.lookup_s > 0.0

@@ -131,3 +131,24 @@ class TestSyscallMdp:
         mdp = observed_profiler.build_syscall_mdp()
         sol = value_iteration(mdp, rho=0.8)
         assert all(v >= 0.0 for v in sol.values.values())
+
+
+class TestDeviceKeyCache:
+    def test_memoised_derivation_counts_hits(self):
+        from repro.capman.profiler import device_key_cache_info
+
+        demand = DemandSlice(cpu_util=42.0, screen_on=True, wifi_kbps=7.0)
+        before = device_key_cache_info()
+        first = device_key_of(demand)
+        again = device_key_of(demand)
+        after = device_key_cache_info()
+        assert first == again
+        assert after.hits >= before.hits + 1
+
+    def test_threshold_is_part_of_the_key(self):
+        demand = DemandSlice(cpu_util=42.0, wifi_kbps=500.0)
+        low = device_key_of(demand, wifi_threshold_kbps=100.0)
+        high = device_key_of(demand, wifi_threshold_kbps=1000.0)
+        # 500 kbps counts as "send" under the low threshold only.
+        assert low == ("C1", "off", "send")
+        assert high == ("C1", "off", "access")
