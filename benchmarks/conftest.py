@@ -5,6 +5,15 @@ paper: it runs the experiment (timed by pytest-benchmark), prints the
 same rows/series the paper reports, and asserts the qualitative
 *shape* (orderings, crossovers) -- not absolute hardware numbers.
 
+The evaluation grids all run through the scenario-sweep engine
+(:mod:`repro.sim.sweep`).  Two environment knobs control it:
+
+* ``CAPMAN_SWEEP_WORKERS`` -- process fan-out for the grids
+  (default 1 = serial; 0 = one per CPU);
+* ``CAPMAN_SWEEP_CACHE`` -- directory for the on-disk result cache
+  (default unset = no caching; re-runs with a cache directory only
+  recompute cells whose configuration or code changed).
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -12,6 +21,7 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional
 
 import pytest
@@ -25,6 +35,7 @@ from repro.capman.baselines import (
 from repro.capman.controller import CapmanPolicy
 from repro.device.profiles import NEXUS, PhoneProfile
 from repro.sim.discharge import DischargeResult, run_discharge_cycle
+from repro.sim.sweep import ScenarioRunner, SimStats, SweepResult, SweepSpec
 from repro.workload.generators import (
     EtaStaticWorkload,
     GeekbenchWorkload,
@@ -64,6 +75,31 @@ def evaluation_policies() -> Dict[str, object]:
         "CAPMAN": CapmanPolicy(capacity_mah=EVAL_CELL_MAH),
         "Oracle": OraclePolicy(capacity_mah=EVAL_CELL_MAH),
     }
+
+
+def sweep_runner() -> ScenarioRunner:
+    """The shared evaluation runner, configured from the environment."""
+    workers = int(os.environ.get("CAPMAN_SWEEP_WORKERS", "1"))
+    cache_dir = os.environ.get("CAPMAN_SWEEP_CACHE") or None
+    return ScenarioRunner(workers=workers, cache=cache_dir)
+
+
+def run_sweep(
+    policies: Dict[str, object],
+    traces: Dict[str, Trace],
+    profiles: Optional[Dict[str, PhoneProfile]] = None,
+    max_duration_s: float = MAX_CYCLE_S,
+    control_dt: float = CONTROL_DT,
+) -> SweepResult:
+    """One evaluation grid at paper scale through the sweep engine."""
+    spec = SweepSpec(
+        policies=policies,
+        traces=traces,
+        profiles=profiles or {"Nexus": NEXUS},
+        control_dts=(control_dt,),
+        max_duration_s=max_duration_s,
+    )
+    return sweep_runner().run(spec)
 
 
 def run_cycle(

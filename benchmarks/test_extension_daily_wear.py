@@ -15,9 +15,11 @@ from repro.analysis.reporting import format_table
 from repro.battery.aging import AgingModel
 from repro.capman.baselines import DualPolicy
 from repro.capman.controller import CapmanPolicy
-from repro.sim.daily import run_days
+from repro.sim.sweep import SweepSpec
 from repro.workload.generators import VideoWorkload
 from repro.workload.traces import record_trace
+
+from conftest import sweep_runner
 
 CELL_MAH = 600.0
 N_DAYS = 8
@@ -25,14 +27,21 @@ N_DAYS = 8
 
 def _run_both():
     trace = record_trace(VideoWorkload(seed=3), 900.0)
-    aging = AgingModel(rate_stress_weight=2.0)
-    capman = run_days(CapmanPolicy(capacity_mah=CELL_MAH), trace,
-                      n_days=N_DAYS, aging=aging,
-                      max_cycle_s=12 * 3600.0)
-    dual = run_days(DualPolicy(capacity_mah=CELL_MAH), trace,
-                    n_days=N_DAYS, aging=AgingModel(rate_stress_weight=2.0),
-                    max_cycle_s=12 * 3600.0)
-    return capman, dual
+    # A "daily" sweep cell runs run_days; each cell deep-copies its
+    # policy and aging model, so one template serves both policies.
+    spec = SweepSpec(
+        policies={
+            "CAPMAN": CapmanPolicy(capacity_mah=CELL_MAH),
+            "Dual": DualPolicy(capacity_mah=CELL_MAH),
+        },
+        traces={"Video": trace},
+        kind="daily",
+        max_duration_s=12 * 3600.0,
+        extra={"n_days": N_DAYS,
+               "aging": AgingModel(rate_stress_weight=2.0)},
+    )
+    sweep = sweep_runner().run(spec)
+    return sweep.get(policy="CAPMAN"), sweep.get(policy="Dual")
 
 
 def _wear_per_mj(res):

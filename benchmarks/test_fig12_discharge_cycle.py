@@ -19,16 +19,15 @@ import pytest
 
 from repro.analysis.reporting import comparison_table, format_series, format_table
 
-from conftest import evaluation_policies, evaluation_workloads, run_cycle
+from conftest import evaluation_policies, evaluation_workloads, run_sweep
 
 WORKLOADS = list(evaluation_workloads())
 
 
 def _run_workload(store, workload_name):
     trace = store.trace(workload_name)
-    results = {}
-    for pol_name, policy in evaluation_policies().items():
-        results[pol_name] = run_cycle(policy, trace)
+    sweep = run_sweep(evaluation_policies(), {workload_name: trace})
+    results = sweep.by_policy(trace=workload_name)
     store.fig12[workload_name] = results
     return results
 

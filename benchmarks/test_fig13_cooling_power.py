@@ -13,7 +13,7 @@ from repro.analysis.reporting import format_series, format_table
 from repro.capman.controller import CapmanPolicy
 from repro.thermal.hotspot import HOT_SPOT_THRESHOLD_C
 
-from conftest import CONTROL_DT, EVAL_CELL_MAH, run_cycle
+from conftest import CONTROL_DT, EVAL_CELL_MAH, run_sweep
 
 #: Cap each observation run at two simulated hours.
 WINDOW_S = 2.0 * 3600.0
@@ -23,8 +23,9 @@ WORKLOADS = ("Geekbench", "PCMark", "Video", "eta-80%")
 
 def _observe(store, workload_name):
     trace = store.trace(workload_name)
-    policy = CapmanPolicy(capacity_mah=EVAL_CELL_MAH)
-    return run_cycle(policy, trace, max_duration_s=WINDOW_S)
+    sweep = run_sweep({"CAPMAN": CapmanPolicy(capacity_mah=EVAL_CELL_MAH)},
+                      {workload_name: trace}, max_duration_s=WINDOW_S)
+    return sweep.get(policy="CAPMAN", trace=workload_name)
 
 
 @pytest.mark.parametrize("workload_name", WORKLOADS)

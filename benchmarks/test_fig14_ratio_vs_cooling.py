@@ -11,30 +11,34 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.capman.controller import CapmanPolicy
-from repro.sim.discharge import run_discharge_cycle
 
-from conftest import CONTROL_DT, EVAL_CELL_MAH, run_cycle, store as _store
+from conftest import CONTROL_DT, EVAL_CELL_MAH, run_sweep, store as _store
 
 WINDOW_S = 3.0 * 3600.0
 WORKLOADS = ("Geekbench", "PCMark", "Video", "eta-80%")
 
 
-def _pair(store, workload_name):
-    trace = store.trace(workload_name)
-    with_tec = run_cycle(CapmanPolicy(capacity_mah=EVAL_CELL_MAH), trace,
-                         max_duration_s=WINDOW_S)
-    # The same policy with the TEC disabled: passive cooling plate only.
-    without = run_cycle(
-        CapmanPolicy(capacity_mah=EVAL_CELL_MAH, uses_tec=False,
-                     name="CAPMAN-noTEC"),
-        trace, max_duration_s=WINDOW_S)
-    return with_tec, without
+def _pairs(store):
+    # One sweep over (CAPMAN, CAPMAN-noTEC) x workloads; the noTEC
+    # variant is the same policy on the passive cooling plate only.
+    sweep = run_sweep(
+        {
+            "CAPMAN": CapmanPolicy(capacity_mah=EVAL_CELL_MAH),
+            "CAPMAN-noTEC": CapmanPolicy(capacity_mah=EVAL_CELL_MAH,
+                                         uses_tec=False, name="CAPMAN-noTEC"),
+        },
+        {w: store.trace(w) for w in WORKLOADS},
+        max_duration_s=WINDOW_S,
+    )
+    return {
+        w: (sweep.get(policy="CAPMAN", trace=w),
+            sweep.get(policy="CAPMAN-noTEC", trace=w))
+        for w in WORKLOADS
+    }
 
 
 def test_fig14_ratio_vs_cooling(benchmark, store):
-    results = benchmark.pedantic(
-        lambda: {w: _pair(store, w) for w in WORKLOADS}, rounds=1, iterations=1
-    )
+    results = benchmark.pedantic(lambda: _pairs(store), rounds=1, iterations=1)
 
     rows = []
     for name, (with_tec, without) in results.items():

@@ -11,19 +11,19 @@ from repro.analysis.reporting import format_table
 from repro.capman.controller import CapmanPolicy
 from repro.device.profiles import PHONES
 
-from conftest import EVAL_CELL_MAH, run_cycle
+from conftest import EVAL_CELL_MAH, run_sweep
 
 WINDOW_S = 1.0 * 3600.0
 
 
 def _snapshot(store):
-    trace = store.trace("eta-50%")
-    out = {}
-    for name, profile in PHONES.items():
-        res = run_cycle(CapmanPolicy(capacity_mah=EVAL_CELL_MAH), trace,
-                        profile=profile, max_duration_s=WINDOW_S)
-        out[name] = res
-    return out
+    sweep = run_sweep(
+        {"CAPMAN": CapmanPolicy(capacity_mah=EVAL_CELL_MAH)},
+        {"eta-50%": store.trace("eta-50%")},
+        profiles=dict(PHONES),
+        max_duration_s=WINDOW_S,
+    )
+    return {name: sweep.get(profile=name) for name in PHONES}
 
 
 def test_fig15_phones(benchmark, store):

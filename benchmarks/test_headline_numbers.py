@@ -14,28 +14,34 @@ from repro.capman.controller import CapmanPolicy
 from repro.workload.generators import SkewedBurstWorkload
 from repro.workload.traces import record_trace
 
-from conftest import EVAL_CELL_MAH, evaluation_policies, run_cycle
+from conftest import EVAL_CELL_MAH, evaluation_policies, run_sweep
 
 
 def _ensure_matrix(store):
-    """Reuse the Figure 12 results; compute any missing workloads."""
+    """Reuse the Figure 12 results; sweep any missing workloads."""
     from conftest import evaluation_workloads
 
-    for name in evaluation_workloads():
-        if name not in store.fig12:
-            trace = store.trace(name)
-            store.fig12[name] = {
-                pol_name: run_cycle(policy, trace)
-                for pol_name, policy in evaluation_policies().items()
-            }
+    missing = [n for n in evaluation_workloads() if n not in store.fig12]
+    if missing:
+        sweep = run_sweep(evaluation_policies(),
+                          {n: store.trace(n) for n in missing})
+        for name in missing:
+            store.fig12[name] = sweep.by_policy(trace=name)
     return store.fig12
 
 
 def _skewed_gain():
     trace = record_trace(SkewedBurstWorkload(seed=1), 1800.0)
-    capman = run_cycle(CapmanPolicy(capacity_mah=EVAL_CELL_MAH), trace)
-    practice = run_cycle(PracticePolicy(capacity_mah=2 * EVAL_CELL_MAH), trace)
-    return gain_percent(capman.service_time_s, practice.service_time_s)
+    sweep = run_sweep(
+        {
+            "CAPMAN": CapmanPolicy(capacity_mah=EVAL_CELL_MAH),
+            "Practice": PracticePolicy(capacity_mah=2 * EVAL_CELL_MAH),
+        },
+        {"skewed": trace},
+    )
+    results = sweep.by_policy(trace="skewed")
+    return gain_percent(results["CAPMAN"].service_time_s,
+                        results["Practice"].service_time_s)
 
 
 def test_headline_numbers(benchmark, store):

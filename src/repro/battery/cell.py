@@ -191,6 +191,30 @@ class Cell:
         return i * (veff - i * r)
 
     # ------------------------------------------------------------------
+    # Charge management
+    # ------------------------------------------------------------------
+    def drain_to(self, fraction: float) -> None:
+        """Set the remaining charge to ``fraction`` of rated capacity.
+
+        Both KiBaM wells are scaled by the same factor, preserving the
+        available/bound split (a cell that "arrives empty" for charging
+        keeps its diffusion state shape).  Only draining is allowed --
+        use a charger to add charge.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        current = self.charge_amp_s
+        target = self.capacity_amp_s * fraction
+        if target > current + 1e-9:
+            raise ValueError(
+                f"drain_to({fraction}) would add charge "
+                f"(cell holds {current / self.capacity_amp_s:.3f})"
+            )
+        scale = target / current if current > 0 else 0.0
+        self._available *= scale
+        self._bound *= scale
+
+    # ------------------------------------------------------------------
     # Time evolution
     # ------------------------------------------------------------------
     def rest(self, dt: float) -> None:

@@ -101,7 +101,7 @@ class CCCVCharger:
 
     def charge_pack(self, pack, max_hours: float = 10.0, dt: float = 30.0) -> float:
         """Charge every cell of a pack (in parallel); returns time (s)."""
-        cells = self._cells_of(pack)
+        cells = self.cells_of(pack)
         t = 0.0
         while t < max_hours * 3600.0:
             done = True
@@ -115,7 +115,12 @@ class CCCVCharger:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _cells_of(pack):
+    def cells_of(pack) -> list:
+        """The chargeable cells of a pack, in pack order.
+
+        Supports the big.LITTLE and single-battery packs plus any pack
+        exposing a ``cells`` sequence.
+        """
         if isinstance(pack, BigLittlePack):
             return [pack.big, pack.little]
         if isinstance(pack, SingleBatteryPack):
@@ -123,6 +128,9 @@ class CCCVCharger:
         if hasattr(pack, "cells"):
             return list(pack.cells)
         raise TypeError(f"cannot charge pack of type {type(pack).__name__}")
+
+    #: Backward-compatible alias for the historical private name.
+    _cells_of = cells_of
 
     @staticmethod
     def _accept(cell: Cell, accepted_amp_s: float, dt: float) -> None:

@@ -10,7 +10,7 @@ heat into the RC thermal network, and reports what happened.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..battery.pack import BatteryPack, BigLittlePack, PackDraw
 from ..battery.switch import BatterySelection
@@ -137,6 +137,12 @@ class Phone:
         self.ambient_c = ambient_c
         self.clock_s = 0.0
         self._last_state: Optional[DeviceState] = None
+        #: Memoised (base_w, cpu_w) per demand slice.  The electrical
+        #: demand depends only on the immutable profile and the frozen
+        #: slice, and workload traces loop the same few dozen slices
+        #: for hours of simulated time -- so the power models run once
+        #: per distinct slice instead of twice per control step.
+        self._power_cache: Dict[DemandSlice, Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Observation
@@ -184,8 +190,11 @@ class Phone:
     # ------------------------------------------------------------------
     # Dynamics
     # ------------------------------------------------------------------
-    def demand_power_w(self, demand: DemandSlice) -> float:
-        """Electrical power the slice implies, excluding the TEC (W)."""
+    def _demand_powers(self, demand: DemandSlice) -> Tuple[float, float]:
+        """Memoised (total base power, CPU share) for a slice (W)."""
+        cached = self._power_cache.get(demand)
+        if cached is not None:
+            return cached
         p = self.profile
         freq = min(demand.freq_index, p.n_freqs - 1)
         if demand.cpu_util <= 0.5 and not demand.screen_on and demand.wifi_kbps <= 0:
@@ -194,14 +203,20 @@ class Phone:
             cpu_mw = p.cpu_model.power_mw(demand.cpu_util, freq)
         screen_mw = p.screen_model.power_mw(demand.brightness, on=demand.screen_on)
         wifi_mw = p.wifi_model.power_mw(demand.wifi_kbps)
-        return (cpu_mw + screen_mw + wifi_mw) / 1000.0
+        powers = ((cpu_mw + screen_mw + wifi_mw) / 1000.0, cpu_mw / 1000.0)
+        self._power_cache[demand] = powers
+        return powers
+
+    def demand_power_w(self, demand: DemandSlice) -> float:
+        """Electrical power the slice implies, excluding the TEC (W)."""
+        return self._demand_powers(demand)[0]
 
     def step(self, demand: DemandSlice, dt: float) -> StepOutcome:
         """Advance the plant ``dt`` seconds under a demand slice."""
         if dt <= 0:
             raise ValueError("dt must be positive")
 
-        base_w = self.demand_power_w(demand)
+        base_w, cpu_w = self._demand_powers(demand)
         total_w = base_w + self.tec.power_w()
 
         draw: PackDraw = self.pack.draw(total_w, dt, self.clock_s)
@@ -209,11 +224,6 @@ class Phone:
         # Heat routing: CPU compute heats the hot spot; panel and radio
         # heat spreads on the surface; battery losses heat the pack bay.
         p = self.profile
-        freq = min(demand.freq_index, p.n_freqs - 1)
-        if demand.cpu_util <= 0.5 and not demand.screen_on and demand.wifi_kbps <= 0:
-            cpu_w = p.power_table.cpu_mw[CpuState.SLEEP] / 1000.0
-        else:
-            cpu_w = p.cpu_model.power_mw(demand.cpu_util, freq) / 1000.0
         other_w = max(0.0, base_w - cpu_w)
         injections: Dict[str, float] = {
             "cpu": cpu_w,

@@ -36,6 +36,10 @@ class PhoneProfile:
         measured in Figure 16 (1.0 = Nexus).
     battery_volume_cc:
         Volume budget available for the battery pack.
+    rail_voltage_v:
+        Nominal supply-rail voltage the pack presents to the load;
+        energy-to-charge conversions (e.g. per-cell throughput in the
+        daily wear simulation) use this instead of a hardcoded 3.7 V.
     """
 
     name: str
@@ -47,12 +51,15 @@ class PhoneProfile:
     wifi_model: WifiPowerModel = field(default_factory=WifiPowerModel)
     compute_speed: float = 1.0
     battery_volume_cc: float = 18.0
+    rail_voltage_v: float = 3.7
 
     def __post_init__(self) -> None:
         if not self.cpu_freqs_mhz:
             raise ValueError("a profile needs at least one CPU frequency")
         if self.compute_speed <= 0:
             raise ValueError("compute_speed must be positive")
+        if self.rail_voltage_v <= 0:
+            raise ValueError("rail_voltage_v must be positive")
 
     @property
     def n_freqs(self) -> int:

@@ -1,5 +1,6 @@
 """Simulation engine: control stepping, metrics, discharge cycles,
-multi-day discharge/charge/aging runs."""
+multi-day discharge/charge/aging runs, and the parallel scenario-sweep
+engine that drives the evaluation grids."""
 
 from .daily import DayRecord, MultiDayResult, run_days
 from .discharge import (
@@ -10,6 +11,14 @@ from .discharge import (
 )
 from .engine import ControlStep, iter_control_steps
 from .metrics import MetricsRecorder, TimeSeries
+from .sweep import (
+    ScenarioCell,
+    ScenarioRunner,
+    SimStats,
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+)
 
 __all__ = [
     "DayRecord",
@@ -23,4 +32,10 @@ __all__ = [
     "iter_control_steps",
     "MetricsRecorder",
     "TimeSeries",
+    "ScenarioCell",
+    "ScenarioRunner",
+    "SimStats",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
 ]

@@ -43,6 +43,10 @@ class MultiDayResult:
     policy_name: str
     workload_name: str
     days: List[DayRecord] = field(default_factory=list)
+    #: Control steps executed across all day cycles (throughput accounting).
+    step_count: int = 0
+    #: Wall-clock time spent in the day cycles (s).
+    wall_time_s: float = 0.0
 
     @property
     def first_day(self) -> DayRecord:
@@ -137,20 +141,22 @@ def run_days(
             proxy, trace, profile=profile, control_dt=control_dt,
             max_duration_s=max_cycle_s,
         )
+        result.step_count += day_result.step_count
+        result.wall_time_s += day_result.wall_time_s
         # Wear update: approximate per-cell throughput by each cell's
         # energy share at the rail voltage; battery-bay temperature is
         # derived from the recorded die temperature.
         mean_temp = day_result.metrics.series("cpu_temp_c").mean() * 0.6 + 10.0
-        throughputs = _split_throughput(day_result, len(healths))
+        throughputs = _split_throughput(day_result, len(healths),
+                                        rail_v=profile.rail_voltage_v)
         for health, through in zip(healths, throughputs):
             mean_current = through / max(day_result.service_time_s, 1.0)
             aging.record_cycle(health, through, mean_temp_c=mean_temp,
                                mean_current_a=mean_current)
 
         charge_pack, _ = _aged_policy_pack(policy, healths)
-        for cell in charger._cells_of(charge_pack):
-            cell._available *= 0.02  # arrives empty
-            cell._bound *= 0.02
+        for cell in charger.cells_of(charge_pack):
+            cell.drain_to(0.02 * cell.state_of_charge)  # arrives empty
         charge_time = charger.charge_pack(charge_pack)
 
         result.days.append(DayRecord(
@@ -165,13 +171,15 @@ def run_days(
     return result
 
 
-def _split_throughput(day: DischargeResult, n_cells: int) -> List[float]:
+def _split_throughput(day: DischargeResult, n_cells: int,
+                      rail_v: float = 3.7) -> List[float]:
     """Apportion the day's charge throughput across the pack's cells.
 
-    For dual packs the split follows the big/LITTLE activation-time
-    energy shares; single packs take everything.
+    ``rail_v`` is the profile's supply-rail voltage used to convert
+    delivered energy to charge.  For dual packs the split follows the
+    big/LITTLE activation-time energy shares; single packs take
+    everything.
     """
-    rail_v = 3.7
     total_amp_s = day.energy_delivered_j / rail_v
     if n_cells == 1:
         return [total_amp_s]

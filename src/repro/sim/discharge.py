@@ -11,6 +11,7 @@ power traces, switch counts and battery activation ratios.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -100,6 +101,10 @@ class DischargeResult:
     time_above_threshold_s: float
     #: Recorded traces (downsampled): soc, cpu_temp, power, voltage.
     metrics: MetricsRecorder = field(repr=False, default_factory=MetricsRecorder)
+    #: Control steps executed (throughput accounting).
+    step_count: int = 0
+    #: Wall-clock time spent inside the cycle loop (s).
+    wall_time_s: float = 0.0
 
     @property
     def mean_power_w(self) -> float:
@@ -136,6 +141,7 @@ def run_discharge_cycle(
     time by limping along on partial service.  ``record_every`` thins
     metric recording for long runs.
     """
+    wall_start = time.perf_counter()
     pack = policy.build_pack()
     phone = Phone(profile=profile, pack=pack, ambient_c=ambient_c)
     thermostat = ThermostatController(threshold_c=tec_threshold_c)
@@ -156,35 +162,60 @@ def run_discharge_cycle(
     step_index = 0
     brownouts = 0
 
+    # Hot-loop hoists: bind per-step callables and constants once.  A
+    # day-long trace at 1 s steps runs this loop ~10^5 times, and the
+    # attribute chains below would otherwise be re-resolved each step.
+    predict_power = phone.demand_power_w
+    decide = policy.decide_battery
+    uses_tec = policy.uses_tec
+    select_battery = phone.select_battery
+    set_tec = phone.set_tec
+    thermostat_update = thermostat.update
+    phone_step = phone.step
+    record = metrics.record
+    thermal_temperature = phone.thermal.temperature
+    big_sel = BatterySelection.BIG
+    little_sel = BatterySelection.LITTLE
+    dual = isinstance(pack, BigLittlePack)
+    if dual:
+        big_cell, little_cell = pack.big, pack.little
+        active_of = lambda: pack.active
+
     for step in iter_control_steps(looped_segments(), control_dt, max_duration_s):
         demand = step.segment.demand
-        predicted_w = phone.demand_power_w(demand)
-        soc_big, soc_little = _pack_socs(pack)
+        if dual:
+            soc_big = big_cell.state_of_charge
+            soc_little = little_cell.state_of_charge
+            active = active_of() or big_sel
+        else:
+            soc_big = soc_little = pack.state_of_charge
+            active = big_sel
+        cpu_temp = thermal_temperature("cpu")
         ctx = PolicyContext(
             now_s=step.start_s,
             demand=demand,
             syscall=step.syscall,
-            predicted_power_w=predicted_w,
-            cpu_temp_c=phone.cpu_temp_c,
-            surface_temp_c=phone.surface_temp_c,
+            predicted_power_w=predict_power(demand),
+            cpu_temp_c=cpu_temp,
+            surface_temp_c=thermal_temperature("surface"),
             soc_big=soc_big,
             soc_little=soc_little,
-            active=phone.active_battery or BatterySelection.BIG,
+            active=active,
             segment_start=step.segment_start,
         )
 
-        choice = policy.decide_battery(ctx)
+        choice = decide(ctx)
         if choice is not None:
-            phone.select_battery(choice)
-        if policy.uses_tec:
-            phone.set_tec(thermostat.update(phone.cpu_temp_c, step.start_s))
+            select_battery(choice)
+        if uses_tec:
+            set_tec(thermostat_update(cpu_temp, step.start_s))
 
-        outcome: StepOutcome = phone.step(demand, step.dt)
+        outcome: StepOutcome = phone_step(demand, step.dt)
 
         energy += outcome.energy_j
-        if outcome.served_by is BatterySelection.BIG:
+        if outcome.served_by is big_sel:
             big_time += step.dt
-        elif outcome.served_by is BatterySelection.LITTLE:
+        elif outcome.served_by is little_sel:
             little_time += step.dt
         if outcome.cpu_temp_c > max_temp:
             max_temp = outcome.cpu_temp_c
@@ -194,10 +225,10 @@ def run_discharge_cycle(
         step_index += 1
         if step_index % record_every == 0:
             t = step.start_s + step.dt
-            metrics.record("soc", t, pack.state_of_charge)
-            metrics.record("cpu_temp_c", t, outcome.cpu_temp_c)
-            metrics.record("power_w", t, outcome.demand_w)
-            metrics.record("voltage_v", t, outcome.voltage_v)
+            record("soc", t, pack.state_of_charge)
+            record("cpu_temp_c", t, outcome.cpu_temp_c)
+            record("power_w", t, outcome.demand_w)
+            record("voltage_v", t, outcome.voltage_v)
 
         service_time = step.start_s + step.dt
         if outcome.shortfall and pack.depleted:
@@ -208,7 +239,7 @@ def run_discharge_cycle(
             if brownouts >= brownout_limit:
                 break
 
-    switch_count = pack.switch.switch_count if isinstance(pack, BigLittlePack) else 0
+    switch_count = pack.switch.switch_count if dual else 0
     tec: TECUnit = phone.tec
     return DischargeResult(
         policy_name=policy.name,
@@ -223,6 +254,8 @@ def run_discharge_cycle(
         max_cpu_temp_c=max_temp,
         time_above_threshold_s=hot_time,
         metrics=metrics,
+        step_count=step_index,
+        wall_time_s=time.perf_counter() - wall_start,
     )
 
 

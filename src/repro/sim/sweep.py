@@ -1,0 +1,531 @@
+"""Parallel scenario-sweep engine for the evaluation grids.
+
+The paper's whole evaluation surface -- Figures 12-15, the daily-wear
+extension and the headline numbers -- is a grid of scenarios: policies
+x traces x phone profiles (x control step x ambient), each cell one
+independent discharge cycle (or multi-day run).  This module turns
+that implicit pattern into an explicit engine:
+
+* :class:`SweepSpec` declares the grid and expands it into
+  :class:`ScenarioCell` rows in a deterministic order;
+* :class:`ScenarioRunner` executes the cells -- serially or fanned out
+  over a ``ProcessPoolExecutor`` -- with results returned in spec
+  order, so parallel output is identical to serial output;
+* an optional on-disk cache keyed by a content hash of the scenario
+  configuration plus a code-version salt lets a re-run recompute only
+  the cells whose inputs actually changed;
+* :class:`SimStats` reports throughput (control steps/s), per-phase
+  wall times and cache hit/miss counts next to the results.
+
+Every scenario cell is pure: it builds its own policy copy, pack and
+phone, so cells never share mutable state.  That is what makes the
+fan-out safe and the cache sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..device.profiles import NEXUS, PhoneProfile
+from ..workload.traces import Trace
+from .daily import MultiDayResult, run_days
+from .discharge import DischargeResult, SchedulingPolicy, run_discharge_cycle
+
+__all__ = [
+    "ScenarioCell",
+    "SweepSpec",
+    "SimStats",
+    "SweepResult",
+    "SweepCache",
+    "ScenarioRunner",
+]
+
+#: Result type of a single scenario cell.
+CellResult = Union[DischargeResult, MultiDayResult]
+
+
+# ----------------------------------------------------------------------
+# Spec and cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One fully specified, independently runnable scenario."""
+
+    #: Position in the expanded spec (also the result index).
+    index: int
+    policy_key: str
+    trace_key: str
+    profile_key: str
+    control_dt: float
+    ambient_c: float
+    #: "discharge" for one cycle, "daily" for a multi-day run.
+    kind: str
+    policy: SchedulingPolicy = field(repr=False)
+    trace: Trace = field(repr=False)
+    profile: PhoneProfile = field(repr=False)
+    max_duration_s: float = 3.0 * 3600.0
+    record_every: int = 1
+    #: Extra keyword arguments for the run (e.g. daily: n_days, aging).
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell identifier."""
+        return (f"{self.policy_key}/{self.trace_key}/{self.profile_key}"
+                f"/dt={self.control_dt}/amb={self.ambient_c}")
+
+
+@dataclass
+class SweepSpec:
+    """A declarative scenario grid.
+
+    The cross product ``policies x traces x profiles x control_dts x
+    ambients_c`` is expanded in that key order (insertion order of the
+    mappings, then sequence order), which fixes the cell indices and
+    thereby the result ordering for any worker count.
+
+    Parameters
+    ----------
+    policies / traces / profiles:
+        Named axes; every combination becomes a cell.  Policies are
+        treated as templates -- each cell runs on its own deep copy,
+        so a spec may reuse one policy object across many cells.
+    control_dts / ambients_c:
+        Numeric axes (control step seconds, ambient degC).
+    kind:
+        "discharge" runs :func:`run_discharge_cycle` per cell;
+        "daily" runs :func:`~repro.sim.daily.run_days`.
+    max_duration_s / record_every:
+        Forwarded to the discharge harness ("daily" maps
+        ``max_duration_s`` onto ``max_cycle_s``).
+    extra:
+        Additional keyword arguments for the run function (for
+        "daily": ``n_days``, ``aging``, ``charger``).
+    """
+
+    policies: Mapping[str, SchedulingPolicy]
+    traces: Mapping[str, Trace]
+    profiles: Mapping[str, PhoneProfile] = field(
+        default_factory=lambda: {"Nexus": NEXUS})
+    control_dts: Sequence[float] = (2.0,)
+    ambients_c: Sequence[float] = (25.0,)
+    kind: str = "discharge"
+    max_duration_s: float = 3.0 * 3600.0
+    record_every: int = 1
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.policies or not self.traces or not self.profiles:
+            raise ValueError("policies, traces and profiles must be non-empty")
+        if self.kind not in ("discharge", "daily"):
+            raise ValueError(f"unknown sweep kind {self.kind!r}")
+        if any(dt <= 0 for dt in self.control_dts):
+            raise ValueError("control_dts must be positive")
+
+    def expand(self) -> List[ScenarioCell]:
+        """The grid as an ordered list of cells."""
+        cells: List[ScenarioCell] = []
+        extra = tuple(sorted(self.extra.items()))
+        index = 0
+        for policy_key, policy in self.policies.items():
+            for trace_key, trace in self.traces.items():
+                for profile_key, profile in self.profiles.items():
+                    for control_dt in self.control_dts:
+                        for ambient in self.ambients_c:
+                            cells.append(ScenarioCell(
+                                index=index,
+                                policy_key=policy_key,
+                                trace_key=trace_key,
+                                profile_key=profile_key,
+                                control_dt=float(control_dt),
+                                ambient_c=float(ambient),
+                                kind=self.kind,
+                                policy=policy,
+                                trace=trace,
+                                profile=profile,
+                                max_duration_s=self.max_duration_s,
+                                record_every=self.record_every,
+                                extra=extra,
+                            ))
+                            index += 1
+        return cells
+
+    def __len__(self) -> int:
+        return (len(self.policies) * len(self.traces) * len(self.profiles)
+                * len(self.control_dts) * len(self.ambients_c))
+
+
+# ----------------------------------------------------------------------
+# Content hashing (cache keys)
+# ----------------------------------------------------------------------
+_CODE_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """A digest of the installed ``repro`` sources.
+
+    Folded into every cache key so that editing the simulator (or any
+    model it drives) invalidates previously cached results instead of
+    silently serving stale ones.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_SALT = digest.hexdigest()[:16]
+    return _CODE_SALT
+
+
+def _canonical(obj: Any) -> Any:
+    """A stable, hashable description of a scenario component.
+
+    Dataclasses describe themselves by class name plus their init
+    fields (recursively), so any constructor parameter change -- a
+    policy threshold, a profile power table entry, a trace segment --
+    changes the key.  Private/runtime-only fields (``init=False``) are
+    excluded: they are derived state, not configuration.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = [
+            (f.name, _canonical(getattr(obj, f.name)))
+            for f in dataclasses.fields(cls) if f.init
+        ]
+        return (f"{cls.__module__}.{cls.__qualname__}", tuple(fields))
+    if isinstance(obj, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in obj.items()]
+        return tuple(sorted(items, key=repr))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(v) for v in obj)
+    if isinstance(obj, Trace):
+        return ("Trace", obj.name,
+                tuple(_canonical(seg) for seg in obj.segments))
+    if isinstance(obj, (str, int, float, bool, type(None))):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return (f"{type(obj).__module__}.{type(obj).__qualname__}", obj.name)
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.shape, str(obj.dtype), obj.tobytes().hex())
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, type):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    # Fallback: classes with attribute dicts (e.g. plain objects).
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return (f"{type(obj).__module__}.{type(obj).__qualname__}",
+                tuple((k, _canonical(v)) for k, v in sorted(state.items())
+                      if not k.startswith("_")))
+    return repr(obj)
+
+
+def cell_key(cell: ScenarioCell, salt: Optional[str] = None) -> str:
+    """Content-hash cache key for a cell (index-independent)."""
+    payload = (
+        salt if salt is not None else code_salt(),
+        cell.kind,
+        cell.control_dt,
+        cell.ambient_c,
+        cell.max_duration_s,
+        cell.record_every,
+        _canonical(cell.policy),
+        _canonical(cell.trace),
+        _canonical(cell.profile),
+        _canonical(dict(cell.extra)),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """Pickle-per-cell result cache with atomic writes.
+
+    Corrupted or unreadable entries are treated as misses and deleted,
+    so a torn write (or a foreign file) never poisons a sweep.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """The cached result, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn write / wrong format: recover by recomputing.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: CellResult) -> None:
+        """Store a result atomically (write-to-temp + rename)."""
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class SimStats:
+    """Throughput and phase accounting for one sweep run."""
+
+    cells_total: int = 0
+    cells_computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Control steps across computed cells (cache hits excluded).
+    steps_total: int = 0
+    #: Wall time spent expanding the spec / hashing keys (s).
+    expand_wall_s: float = 0.0
+    #: Wall time spent running scenario cells (sum over workers, s).
+    compute_wall_s: float = 0.0
+    #: Wall time spent on cache reads/writes (s).
+    cache_wall_s: float = 0.0
+    #: End-to-end wall time of ``ScenarioRunner.run`` (s).
+    total_wall_s: float = 0.0
+    workers: int = 1
+
+    @property
+    def steps_per_sec(self) -> float:
+        """Simulated control steps per compute-second (serial-equivalent)."""
+        if self.compute_wall_s <= 0:
+            return 0.0
+        return self.steps_total / self.compute_wall_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (JSON-friendly)."""
+        d = dataclasses.asdict(self)
+        d["steps_per_sec"] = self.steps_per_sec
+        return d
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of a sweep plus run statistics."""
+
+    cells: List[ScenarioCell]
+    results: List[CellResult]
+    stats: SimStats
+
+    def __iter__(self) -> Iterator[Tuple[ScenarioCell, CellResult]]:
+        return iter(zip(self.cells, self.results))
+
+    def get(self, **axes: Any) -> CellResult:
+        """The unique result matching the given axis values.
+
+        Axes are matched against ``policy_key`` (``policy=...``),
+        ``trace_key`` (``trace=...``), ``profile_key``
+        (``profile=...``), ``control_dt`` and ``ambient_c``.
+        """
+        matches = [r for c, r in self if _cell_matches(c, axes)]
+        if not matches:
+            raise KeyError(f"no cell matches {axes}")
+        if len(matches) > 1:
+            raise KeyError(f"{len(matches)} cells match {axes}")
+        return matches[0]
+
+    def by_policy(self, **axes: Any) -> Dict[str, CellResult]:
+        """Results keyed by policy for one point on the other axes."""
+        out: Dict[str, CellResult] = {}
+        for cell, result in self:
+            if _cell_matches(cell, axes):
+                if cell.policy_key in out:
+                    raise KeyError(
+                        f"policy {cell.policy_key!r} is ambiguous under {axes}")
+                out[cell.policy_key] = result
+        if not out:
+            raise KeyError(f"no cell matches {axes}")
+        return out
+
+
+def _cell_matches(cell: ScenarioCell, axes: Mapping[str, Any]) -> bool:
+    lookup = {
+        "policy": cell.policy_key,
+        "trace": cell.trace_key,
+        "profile": cell.profile_key,
+        "control_dt": cell.control_dt,
+        "ambient_c": cell.ambient_c,
+    }
+    for name, want in axes.items():
+        if name not in lookup:
+            raise KeyError(f"unknown sweep axis {name!r}")
+        if lookup[name] != want:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute_cell(cell: ScenarioCell) -> CellResult:
+    """Run one scenario cell (worker entry point; must be picklable).
+
+    The policy template and extra run arguments are cloned via a
+    pickle round trip so serial execution sees exactly the fresh-copy
+    semantics that process fan-out gets for free -- results are
+    identical either way.
+    """
+    policy, extra = pickle.loads(pickle.dumps((cell.policy, dict(cell.extra))))
+    if cell.kind == "daily":
+        result: CellResult = run_days(
+            policy, cell.trace, profile=cell.profile,
+            control_dt=cell.control_dt, max_cycle_s=cell.max_duration_s,
+            **extra,
+        )
+    else:
+        result = run_discharge_cycle(
+            policy, cell.trace, profile=cell.profile,
+            control_dt=cell.control_dt, max_duration_s=cell.max_duration_s,
+            ambient_c=cell.ambient_c, record_every=cell.record_every,
+            **extra,
+        )
+    return result
+
+
+def _timed_cell(cell: ScenarioCell) -> Tuple[int, CellResult, float, int]:
+    """(index, result, compute seconds, steps) for one cell.
+
+    The measured wall time is harvested into :class:`SimStats` and the
+    result's own ``wall_time_s`` is zeroed, keeping payloads (and hence
+    cache entries and parallel-vs-serial comparisons) deterministic.
+    """
+    started = time.perf_counter()
+    result = _execute_cell(cell)
+    elapsed = time.perf_counter() - started
+    steps = int(getattr(result, "step_count", 0))
+    if hasattr(result, "wall_time_s"):
+        result.wall_time_s = 0.0
+    return cell.index, result, elapsed, steps
+
+
+class ScenarioRunner:
+    """Executes a :class:`SweepSpec` with optional fan-out and caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` or 1 runs serially in-process,  ``0``
+        means ``os.cpu_count()``.  Results are returned in spec order
+        and are identical for every worker count.
+    cache:
+        A :class:`SweepCache`, a directory path for one, or ``None``
+        to disable caching.
+    salt:
+        Cache-key salt override; defaults to :func:`code_salt` so code
+        edits invalidate old entries.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Union[SweepCache, str, Path, None] = None,
+        salt: Optional[str] = None,
+    ) -> None:
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, workers or 1)
+        if cache is not None and not isinstance(cache, SweepCache):
+            cache = SweepCache(cache)
+        self.cache = cache
+        self._salt = salt
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute every cell of ``spec``; see the class docstring."""
+        run_started = time.perf_counter()
+        stats = SimStats(workers=self.workers)
+
+        expand_started = time.perf_counter()
+        cells = spec.expand()
+        stats.cells_total = len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        if self.cache is not None:
+            salt = self._salt if self._salt is not None else code_salt()
+            keys = [cell_key(cell, salt) for cell in cells]
+        stats.expand_wall_s = time.perf_counter() - expand_started
+
+        results: List[Optional[CellResult]] = [None] * len(cells)
+        pending: List[ScenarioCell] = []
+        if self.cache is not None:
+            cache_started = time.perf_counter()
+            for cell, key in zip(cells, keys):
+                hit = self.cache.get(key)  # type: ignore[arg-type]
+                if hit is not None:
+                    results[cell.index] = hit
+                    stats.cache_hits += 1
+                else:
+                    pending.append(cell)
+                    stats.cache_misses += 1
+            stats.cache_wall_s += time.perf_counter() - cache_started
+        else:
+            pending = list(cells)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                computed = self._run_parallel(pending)
+            else:
+                computed = [_timed_cell(cell) for cell in pending]
+            for index, result, elapsed, steps in computed:
+                results[index] = result
+                stats.compute_wall_s += elapsed
+                stats.steps_total += steps
+                stats.cells_computed += 1
+            if self.cache is not None:
+                cache_started = time.perf_counter()
+                for index, result, _, _ in computed:
+                    self.cache.put(keys[index], result)  # type: ignore[arg-type]
+                stats.cache_wall_s += time.perf_counter() - cache_started
+
+        stats.total_wall_s = time.perf_counter() - run_started
+        return SweepResult(cells=cells, results=list(results), stats=stats)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, pending: Sequence[ScenarioCell]
+    ) -> List[Tuple[int, CellResult, float, int]]:
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_timed_cell, pending))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["ThermalNode", "ThermalNetwork", "phone_thermal_network"]
 
@@ -53,6 +53,9 @@ class ThermalNetwork:
     def __init__(self) -> None:
         self._nodes: Dict[str, ThermalNode] = {}
         self._links: List[Tuple[str, str, float]] = []
+        #: Flattened hot-loop form (see :meth:`_compile`); rebuilt
+        #: lazily after any topology change.
+        self._compiled: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -64,6 +67,7 @@ class ThermalNetwork:
         if node.heat_capacity <= 0:
             raise ValueError("heat capacity must be positive")
         self._nodes[node.name] = node
+        self._compiled = None
 
     def link(self, a: str, b: str, conductance_w_per_k: float) -> None:
         """Connect two nodes with a thermal conductance (W/K)."""
@@ -73,6 +77,7 @@ class ThermalNetwork:
             if name not in self._nodes:
                 raise KeyError(f"unknown thermal node {name!r}")
         self._links.append((a, b, conductance_w_per_k))
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Inspection
@@ -109,24 +114,38 @@ class ThermalNetwork:
             if name not in self._nodes:
                 raise KeyError(f"unknown thermal node {name!r}")
 
-        sub = self._stable_substep()
+        names, links, active, sub = self._compile()
         steps = max(1, int(math.ceil(dt / sub)))
         steps = min(steps, 100_000)
         h = dt / steps
+        get = injections_w.get
         for _ in range(steps):
-            flows: Dict[str, float] = {name: injections_w.get(name, 0.0)
-                                       for name in self._nodes}
-            for a, b, g in self._links:
-                ta = self._nodes[a].temperature_c
-                tb = self._nodes[b].temperature_c
-                q = g * (ta - tb)
-                flows[a] -= q
-                flows[b] += q
-            for name, node in self._nodes.items():
-                if node.is_boundary:
-                    continue
-                node.temperature_c += h * flows[name] / node.heat_capacity
+            flows = [get(name, 0.0) for name in names]
+            for ia, ib, node_a, node_b, g in links:
+                q = g * (node_a.temperature_c - node_b.temperature_c)
+                flows[ia] -= q
+                flows[ib] += q
+            for i, node in active:
+                node.temperature_c += h * flows[i] / node.heat_capacity
         return self.temperatures()
+
+    def _compile(self) -> Tuple:
+        """Flatten the (static) topology for the substep loop.
+
+        Node/link iteration order and every floating-point operation
+        match the straightforward dict-based loop exactly; only the
+        name lookups and the stability analysis are hoisted out.
+        """
+        if self._compiled is None:
+            names = list(self._nodes)
+            index = {name: i for i, name in enumerate(names)}
+            links = [(index[a], index[b], self._nodes[a], self._nodes[b], g)
+                     for a, b, g in self._links]
+            active = [(index[name], node)
+                      for name, node in self._nodes.items()
+                      if not node.is_boundary]
+            self._compiled = (names, links, active, self._stable_substep())
+        return self._compiled
 
     def _stable_substep(self) -> float:
         """A timestep comfortably below the fastest RC constant."""

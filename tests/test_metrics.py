@@ -48,6 +48,62 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             ts.maximum()
 
+    def test_statistics_pinned_across_decimation_boundary(self):
+        """Pin mean/max/time-weighted-mean across a decimation.
+
+        Contract (module docstring): exceeding ``max_points`` keeps
+        every other sample (indices 0, 2, 4, ...), so statistics are
+        computed over exactly that retained subset -- reproduced here
+        with a plain list oracle.
+        """
+        ts = TimeSeries(max_points=8)
+        samples = [(float(i), float(i * i)) for i in range(11)]
+        for (t, v) in samples:
+            ts.append(t, v)
+        # Oracle: replay the historical list implementation.
+        kept_t, kept_v = [], []
+        for t, v in samples:
+            kept_t.append(t)
+            kept_v.append(v)
+            if len(kept_t) > 8:
+                kept_t = kept_t[::2]
+                kept_v = kept_v[::2]
+
+        assert list(ts.times) == kept_t
+        assert list(ts.values) == kept_v
+        # One decimation at the 9th append: the retained prefix has
+        # doubled spacing, the post-decimation tail keeps unit spacing.
+        assert kept_t == [0.0, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0]
+
+        assert ts.mean() == pytest.approx(sum(kept_v) / len(kept_v))
+        assert ts.maximum() == max(kept_v)
+        expected_twm = sum(
+            kept_v[i] * (kept_t[i] - kept_t[i - 1])
+            for i in range(1, len(kept_t))
+        ) / (kept_t[-1] - kept_t[0])
+        assert ts.time_weighted_mean() == pytest.approx(expected_twm)
+
+    def test_uniform_signal_immune_to_decimation(self):
+        """A constant signal keeps its statistics through decimations."""
+        ts = TimeSeries(max_points=16)
+        for i in range(100):
+            ts.append(float(i), 7.5)
+        assert ts.mean() == pytest.approx(7.5)
+        assert ts.maximum() == 7.5
+        assert ts.time_weighted_mean() == pytest.approx(7.5)
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        ts = TimeSeries(max_points=8)
+        for i in range(12):
+            ts.append(float(i), float(i) * 2.0)
+        clone = pickle.loads(pickle.dumps(ts))
+        assert list(clone.times) == list(ts.times)
+        assert list(clone.values) == list(ts.values)
+        clone.append(99.0, 1.0)  # buffer still usable after restore
+        assert clone.last == (99.0, 1.0)
+
 
 class TestMetricsRecorder:
     def test_record_and_fetch(self):

@@ -1,0 +1,190 @@
+"""Tests for the parallel scenario-sweep engine."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.battery.aging import AgingModel
+from repro.capman.baselines import DualPolicy, PracticePolicy
+from repro.sim.daily import MultiDayResult
+from repro.sim.sweep import (
+    ScenarioRunner,
+    SweepCache,
+    SweepSpec,
+    cell_key,
+)
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_trace(VideoWorkload(seed=5), 120.0)
+
+
+def _spec(trace, capacity=40.0, **kwargs):
+    defaults = dict(
+        policies={
+            "Dual": DualPolicy(capacity_mah=capacity),
+            "Practice": PracticePolicy(capacity_mah=2 * capacity),
+        },
+        traces={"Video": trace},
+        max_duration_s=900.0,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def _cell_bytes(result):
+    return [pickle.dumps(r) for r in result.results]
+
+
+class TestSpec:
+    def test_expand_is_deterministic_and_ordered(self, trace):
+        spec = _spec(trace, control_dts=(1.0, 2.0), ambients_c=(20.0, 30.0))
+        cells_a = spec.expand()
+        cells_b = spec.expand()
+        assert [c.label for c in cells_a] == [c.label for c in cells_b]
+        assert [c.index for c in cells_a] == list(range(len(spec)))
+        assert len(cells_a) == 2 * 1 * 1 * 2 * 2
+
+    def test_rejects_empty_axes(self, trace):
+        with pytest.raises(ValueError):
+            SweepSpec(policies={}, traces={"Video": trace})
+
+    def test_rejects_unknown_kind(self, trace):
+        with pytest.raises(ValueError):
+            _spec(trace, kind="nope")
+
+    def test_keys_distinct_per_cell(self, trace):
+        spec = _spec(trace, control_dts=(1.0, 2.0))
+        keys = {cell_key(c, salt="s") for c in spec.expand()}
+        assert len(keys) == len(spec)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", [2, os.cpu_count() or 1])
+    def test_results_identical_to_serial(self, trace, workers):
+        spec = _spec(trace)
+        serial = ScenarioRunner(workers=1).run(spec)
+        parallel = ScenarioRunner(workers=workers).run(spec)
+        assert _cell_bytes(serial) == _cell_bytes(parallel)
+        assert [c.label for c in serial.cells] == [c.label for c in parallel.cells]
+
+    def test_serial_repeat_identical(self, trace):
+        spec = _spec(trace)
+        a = ScenarioRunner(workers=1).run(spec)
+        b = ScenarioRunner(workers=1).run(spec)
+        assert _cell_bytes(a) == _cell_bytes(b)
+
+    def test_policy_template_not_mutated(self, trace):
+        spec = _spec(trace)
+        before = pickle.dumps(spec.policies["Dual"])
+        ScenarioRunner(workers=1).run(spec)
+        assert pickle.dumps(spec.policies["Dual"]) == before
+
+
+class TestCache:
+    def test_hit_on_identical_spec(self, trace, tmp_path):
+        spec = _spec(trace)
+        cold = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        warm = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.cache_misses == len(spec)
+        assert warm.stats.cache_hits == len(spec)
+        assert warm.stats.cells_computed == 0
+        assert _cell_bytes(cold) == _cell_bytes(warm)
+
+    def test_miss_on_changed_policy_parameter(self, trace, tmp_path):
+        ScenarioRunner(workers=1, cache=tmp_path).run(_spec(trace))
+        changed = _spec(trace, capacity=44.0)
+        rerun = ScenarioRunner(workers=1, cache=tmp_path).run(changed)
+        assert rerun.stats.cache_hits == 0
+        assert rerun.stats.cache_misses == len(changed)
+
+    def test_miss_on_changed_code_salt(self, trace, tmp_path):
+        spec = _spec(trace)
+        ScenarioRunner(workers=1, cache=tmp_path, salt="v1").run(spec)
+        rerun = ScenarioRunner(workers=1, cache=tmp_path, salt="v2").run(spec)
+        assert rerun.stats.cache_hits == 0
+
+    def test_corrupted_entry_recovers(self, trace, tmp_path):
+        spec = _spec(trace)
+        good = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        # Corrupt every cache entry on disk.
+        entries = list(tmp_path.glob("*.pkl"))
+        assert entries
+        for path in entries:
+            path.write_bytes(b"not a pickle")
+        recovered = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        assert recovered.stats.cache_hits == 0
+        assert recovered.stats.cache_misses == len(spec)
+        assert _cell_bytes(recovered) == _cell_bytes(good)
+        # And the cache is healthy again afterwards.
+        warm = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        assert warm.stats.cache_hits == len(spec)
+
+    def test_cache_object_roundtrip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("missing") is None
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert len(cache) == 1
+
+
+class TestStats:
+    def test_throughput_accounting(self, trace):
+        spec = _spec(trace)
+        out = ScenarioRunner(workers=1).run(spec)
+        stats = out.stats
+        assert stats.cells_total == len(spec) == stats.cells_computed
+        assert stats.steps_total > 0
+        assert stats.steps_per_sec > 0
+        assert stats.total_wall_s > 0
+        assert stats.compute_wall_s > 0
+        d = stats.as_dict()
+        assert d["steps_total"] == stats.steps_total
+        assert "steps_per_sec" in d
+
+    def test_results_have_deterministic_wall_time(self, trace):
+        out = ScenarioRunner(workers=1).run(_spec(trace))
+        assert all(r.wall_time_s == 0.0 for r in out.results)
+        assert all(r.step_count > 0 for r in out.results)
+
+
+class TestLookup:
+    def test_get_and_by_policy(self, trace):
+        out = ScenarioRunner(workers=1).run(_spec(trace))
+        dual = out.get(policy="Dual")
+        assert dual.policy_name == "Dual"
+        by = out.by_policy(trace="Video")
+        assert set(by) == {"Dual", "Practice"}
+        with pytest.raises(KeyError):
+            out.get(policy="nope")
+        with pytest.raises(KeyError):
+            out.get(bogus_axis="x")
+
+    def test_get_rejects_ambiguous(self, trace):
+        out = ScenarioRunner(workers=1).run(_spec(trace))
+        with pytest.raises(KeyError):
+            out.get(trace="Video")  # two policies match
+
+
+class TestDailyKind:
+    def test_daily_cells_run_and_cache(self, trace, tmp_path):
+        spec = SweepSpec(
+            policies={"Dual": DualPolicy(capacity_mah=60.0)},
+            traces={"Video": trace},
+            kind="daily",
+            max_duration_s=6 * 3600.0,
+            extra={"n_days": 2, "aging": AgingModel(rate_stress_weight=2.0)},
+        )
+        cold = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        res = cold.get(policy="Dual")
+        assert isinstance(res, MultiDayResult)
+        assert len(res.days) == 2
+        assert res.step_count > 0 and res.wall_time_s == 0.0
+        warm = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        assert warm.stats.cache_hits == 1
+        assert pickle.dumps(warm.results[0]) == pickle.dumps(cold.results[0])
