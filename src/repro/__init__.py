@@ -22,6 +22,8 @@ The package is organised as the paper's system is:
 * :mod:`repro.capman`   -- the CAPMAN policy plus the Oracle /
   Practice / Dual / Heuristic baselines, profiler, actuator,
   runtime calibration.
+* :mod:`repro.faults`   -- seeded fault injection (switch / TEC /
+  sensor / cell) and supervised degraded-mode control.
 * :mod:`repro.analysis` -- fitting, radar normalisation, reporting.
 
 Quickstart::
@@ -36,7 +38,7 @@ Quickstart::
     print(capman.service_time_s / stock.service_time_s)
 """
 
-from . import analysis, battery, capman, core, device, sim, thermal, workload
+from . import analysis, battery, capman, core, device, faults, sim, thermal, workload
 
 __version__ = "1.0.0"
 
@@ -46,6 +48,7 @@ __all__ = [
     "capman",
     "core",
     "device",
+    "faults",
     "sim",
     "thermal",
     "workload",

@@ -219,6 +219,8 @@ class Cell:
     # ------------------------------------------------------------------
     def rest(self, dt: float) -> None:
         """Let the cell idle for ``dt`` seconds (recovery effect)."""
+        if dt < 0 or not math.isfinite(dt):
+            raise ValueError("dt must be non-negative and finite")
         self._step_wells(0.0, dt)
         self._step_transient(0.0, dt)
 
@@ -229,10 +231,10 @@ class Cell:
         runs dry mid-step the delivery is pro-rated and ``shortfall``
         is set.
         """
-        if dt <= 0:
-            raise ValueError("dt must be positive")
-        if power_w < 0:
-            raise ValueError("power must be non-negative")
+        if not (dt > 0 and math.isfinite(dt)):
+            raise ValueError("dt must be positive and finite")
+        if power_w < 0 or not math.isfinite(power_w):
+            raise ValueError("power must be non-negative and finite")
         if power_w == 0.0:
             self.rest(dt)
             return DrawResult(0.0, 0.0, self.terminal_voltage(), 0.0, False)

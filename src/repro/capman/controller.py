@@ -19,6 +19,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -109,8 +110,11 @@ class CapmanPolicy(SchedulingPolicy):
 
         # The TEC surge is burst demand: lean LITTLE while hot (paper
         # Section III-E: "CAPMAN actually favors LITTLE battery due to
-        # frequently wake TEC").
-        if ctx.cpu_temp_c >= HOT_SPOT_THRESHOLD_C and ctx.soc_little > _SOC_FLOOR:
+        # frequently wake TEC").  A non-finite temperature (sparking
+        # sensor, unsupervised) must not trigger the lean.
+        if (math.isfinite(ctx.cpu_temp_c)
+                and ctx.cpu_temp_c >= HOT_SPOT_THRESHOLD_C
+                and ctx.soc_little > _SOC_FLOOR):
             choice = BatterySelection.LITTLE
 
         return self._guard(choice, ctx)
@@ -157,16 +161,23 @@ class CapmanPolicy(SchedulingPolicy):
         return None
 
     def _fallback_choice(self, ctx: PolicyContext) -> BatterySelection:
+        if not math.isfinite(ctx.predicted_power_w):
+            # A corrupt power estimate is no basis for burst routing;
+            # the BIG battery is the conservative default.
+            return BatterySelection.BIG
         if ctx.predicted_power_w > self.fallback_threshold_w:
             return BatterySelection.LITTLE
         return BatterySelection.BIG
 
     @staticmethod
     def _guard(choice: BatterySelection, ctx: PolicyContext) -> BatterySelection:
-        """Never select an effectively empty cell."""
-        if choice is BatterySelection.LITTLE and ctx.soc_little <= _SOC_FLOOR:
+        """Never select an effectively empty (or unreadable) cell."""
+        little_out = (not math.isfinite(ctx.soc_little)
+                      or ctx.soc_little <= _SOC_FLOOR)
+        big_out = not math.isfinite(ctx.soc_big) or ctx.soc_big <= _SOC_FLOOR
+        if choice is BatterySelection.LITTLE and little_out:
             return BatterySelection.BIG
-        if choice is BatterySelection.BIG and ctx.soc_big <= _SOC_FLOOR:
+        if choice is BatterySelection.BIG and big_out:
             return BatterySelection.LITTLE
         return choice
 

@@ -11,12 +11,20 @@ cooling -- happens inside.
 The :mod:`repro.sim.discharge` harness remains the tool for controlled
 experiments (it owns the clock and replays identical traces across
 policies); this facade is the deployment-shaped API.
+
+Passing a :class:`~repro.faults.supervisor.Supervisor` hardens the
+facade for deployment: sensor readings are sanitized before the
+controller sees them, commanded vs. observed actuator state is
+verified every tick, and the tick degrades gracefully -- the rail is
+held in single-battery mode, the workload is frequency-throttled in
+thermal fallback -- with every transition on the supervisor's event
+log.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..battery.pack import BigLittlePack
 from ..battery.switch import BatterySelection
@@ -25,6 +33,9 @@ from ..device.syscalls import Syscall
 from ..sim.discharge import PolicyContext
 from .actuator import CapmanActuator
 from .controller import CapmanPolicy
+
+if TYPE_CHECKING:  # repro.faults imports the sim package; avoid the cycle.
+    from ..faults.supervisor import Supervisor
 
 __all__ = ["CapmanTick", "Capman"]
 
@@ -41,6 +52,8 @@ class CapmanTick:
     switched: bool
     #: Whether the TEC is powered after the tick.
     tec_on: bool
+    #: Supervisor degraded mode after the tick ("normal" unsupervised).
+    mode: str = "normal"
 
 
 class Capman:
@@ -55,9 +68,16 @@ class Capman:
     policy:
         The controller; defaults to a fresh :class:`CapmanPolicy` sized
         to the phone's pack.
+    supervisor:
+        Optional :class:`~repro.faults.supervisor.Supervisor`.  When
+        present, every tick sanitizes the sensor readings, verifies
+        the switch and TEC against their commands, holds the rail in
+        single-battery mode and throttles the demand in thermal
+        fallback.
     """
 
-    def __init__(self, phone: Phone, policy: Optional[CapmanPolicy] = None) -> None:
+    def __init__(self, phone: Phone, policy: Optional[CapmanPolicy] = None,
+                 supervisor: Optional["Supervisor"] = None) -> None:
         if not isinstance(phone.pack, BigLittlePack):
             raise TypeError("CAPMAN requires a big.LITTLE pack")
         self.phone = phone
@@ -65,6 +85,7 @@ class Capman:
             capacity_mah=phone.pack.big.capacity_mah
         )
         self.actuator = CapmanActuator(phone)
+        self.supervisor = supervisor
         # The controller learns online; it only needs the phone profile.
         from ..workload.traces import Trace
         from ..workload.base import Segment
@@ -72,6 +93,8 @@ class Capman:
         bootstrap = Trace([Segment(DemandSlice(), 1.0)], name="live")
         self.policy.on_cycle_start(bootstrap, phone)
         self._last_demand: Optional[DemandSlice] = None
+        #: Last tick's change request: (target, switch_count at command).
+        self._pending_cmd: Optional[tuple] = None
 
     @classmethod
     def create(cls, capacity_mah: float = 2500.0, **phone_kwargs) -> "Capman":
@@ -95,31 +118,65 @@ class Capman:
         """
         phone = self.phone
         pack = phone.pack
+        sup = self.supervisor
         assert isinstance(pack, BigLittlePack)
+
+        now_s = phone.clock_s
+        readings = {
+            "cpu_temp": phone.cpu_temp_c,
+            "surface_temp": phone.surface_temp_c,
+            "soc_big": pack.big.state_of_charge,
+            "soc_little": pack.little.state_of_charge,
+        }
+        if sup is not None:
+            # Sanity-check every reading, then score last tick's
+            # actuation against what the hardware actually did.
+            readings = sup.sanitize(now_s, readings)
+            if self._pending_cmd is not None:
+                commanded, evt_base = self._pending_cmd
+                committed = any(e.target is commanded
+                                for e in pack.switch.events[evt_base:])
+                sup.verify_switch(pack.active, commanded,
+                                  pack.cell_for(commanded).depleted, now_s,
+                                  committed=committed)
+            tec = phone.tec
+            sup.verify_tec(self.actuator.tec_is_on, tec.is_on,
+                           readings["cpu_temp"], now_s)
+        self._pending_cmd = None
 
         segment_start = syscall is not None or self._last_demand != demand
         ctx = PolicyContext(
-            now_s=phone.clock_s,
+            now_s=now_s,
             demand=demand,
             syscall=syscall,
             predicted_power_w=phone.demand_power_w(demand),
-            cpu_temp_c=phone.cpu_temp_c,
-            surface_temp_c=phone.surface_temp_c,
-            soc_big=pack.big.state_of_charge,
-            soc_little=pack.little.state_of_charge,
+            cpu_temp_c=readings["cpu_temp"],
+            surface_temp_c=readings["surface_temp"],
+            soc_big=readings["soc_big"],
+            soc_little=readings["soc_little"],
             active=pack.active,
             segment_start=segment_start,
         )
         self._last_demand = demand
 
-        selection = self.policy.decide_battery(ctx) or pack.active
-        switched = self.actuator.apply(selection, phone.clock_s)
+        choice = self.policy.decide_battery(ctx)
+        if sup is not None and choice is not None and choice is not pack.active:
+            if sup.switch_locked and not sup.switch_probe_due(now_s):
+                # Single-battery safe mode: hold the current rail.
+                choice = None
+        if choice is not None and choice is not pack.active:
+            self._pending_cmd = (choice, pack.switch.switch_count)
+        selection = choice or pack.active
+        switched = self.actuator.apply(selection, now_s)
+        if sup is not None:
+            demand = sup.throttle(demand, readings["cpu_temp"])
         outcome = phone.step(demand, dt)
         return CapmanTick(
             outcome=outcome,
             selection=pack.active,
             switched=switched,
             tec_on=self.actuator.tec_is_on,
+            mode=sup.mode if sup is not None else "normal",
         )
 
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ heat into the RC thermal network, and reports what happened.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -213,8 +214,8 @@ class Phone:
 
     def step(self, demand: DemandSlice, dt: float) -> StepOutcome:
         """Advance the plant ``dt`` seconds under a demand slice."""
-        if dt <= 0:
-            raise ValueError("dt must be positive")
+        if not (dt > 0 and math.isfinite(dt)):
+            raise ValueError("dt must be positive and finite")
 
         base_w, cpu_w = self._demand_powers(demand)
         total_w = base_w + self.tec.power_w()

@@ -1,0 +1,58 @@
+"""Fault injection and supervised degraded-mode control.
+
+Composable, seeded, deterministic fault models for the switch, TEC,
+sensors and cells; a supervisor that detects actuation failures and
+degrades gracefully; and the policy wrapper that threads both through
+the simulation harness and sweep engine unchanged.
+"""
+
+from .events import EventLog, FaultEvent, RecoveryEvent
+from .injectors import FaultyBatterySwitch, FaultyCell, FaultyTEC, SensorTap
+from .schedule import (
+    CellFault,
+    FaultRuntime,
+    FaultSchedule,
+    FaultTrigger,
+    Observation,
+    ScheduleRuntime,
+    SensorFault,
+    SwitchFault,
+    TecFault,
+)
+from .supervisor import (
+    MODE_NORMAL,
+    MODE_SAFE,
+    MODE_SINGLE_BATTERY,
+    MODE_THERMAL_FALLBACK,
+    SensorGuard,
+    SupervisedPolicy,
+    Supervisor,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "EventLog",
+    "FaultEvent",
+    "RecoveryEvent",
+    "FaultyBatterySwitch",
+    "FaultyCell",
+    "FaultyTEC",
+    "SensorTap",
+    "CellFault",
+    "FaultRuntime",
+    "FaultSchedule",
+    "FaultTrigger",
+    "Observation",
+    "ScheduleRuntime",
+    "SensorFault",
+    "SwitchFault",
+    "TecFault",
+    "MODE_NORMAL",
+    "MODE_SAFE",
+    "MODE_SINGLE_BATTERY",
+    "MODE_THERMAL_FALLBACK",
+    "SensorGuard",
+    "SupervisedPolicy",
+    "Supervisor",
+    "SupervisorConfig",
+]

@@ -1,0 +1,90 @@
+"""Structured fault/recovery events on the control-tick stream.
+
+Every injected-fault activation, every supervisor detection and every
+degraded-mode transition is recorded as a frozen event with a
+simulation timestamp, so a faulty run carries a complete, ordered
+account of what went wrong and what the controller did about it.
+
+Determinism contract: events carry only simulation-time data (no wall
+clock, no unseeded randomness), so the same seed + schedule reproduce
+the identical event log across invocations -- tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+__all__ = ["FaultEvent", "RecoveryEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Something went wrong (an injection activated or was detected).
+
+    ``source`` identifies the component ("switch", "tec",
+    "sensor:cpu_temp", "cell:big", "supervisor"); ``kind`` the event
+    class ("stuck-active", "implausible-reading",
+    "mode-enter:single-battery", ...).
+    """
+
+    time_s: float
+    source: str
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """A fault cleared or a degraded mode was exited."""
+
+    time_s: float
+    source: str
+    kind: str
+    detail: str = ""
+
+
+#: Either event flavour, as stored on the tick stream.
+Event = Union[FaultEvent, RecoveryEvent]
+
+
+@dataclass
+class EventLog:
+    """Append-only, time-ordered log shared by injectors and supervisor."""
+
+    _events: List[Event] = field(default_factory=list)
+
+    def record_fault(self, time_s: float, source: str, kind: str,
+                     detail: str = "") -> FaultEvent:
+        """Append a :class:`FaultEvent` and return it."""
+        event = FaultEvent(time_s, source, kind, detail)
+        self._events.append(event)
+        return event
+
+    def record_recovery(self, time_s: float, source: str, kind: str,
+                        detail: str = "") -> RecoveryEvent:
+        """Append a :class:`RecoveryEvent` and return it."""
+        event = RecoveryEvent(time_s, source, kind, detail)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """Immutable snapshot of the log."""
+        return tuple(self._events)
+
+    @property
+    def fault_count(self) -> int:
+        """Number of :class:`FaultEvent` entries."""
+        return sum(1 for e in self._events if isinstance(e, FaultEvent))
+
+    @property
+    def recovery_count(self) -> int:
+        """Number of :class:`RecoveryEvent` entries."""
+        return sum(1 for e in self._events if isinstance(e, RecoveryEvent))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

@@ -1,0 +1,188 @@
+"""Fault-capable wrappers for the physical components.
+
+Each wrapper subclasses the real component and perturbs its behaviour
+only while a fault is active; with no faults attached every wrapper is
+bit-identical to the unwrapped component (tests pin this), so the
+nominal scenario of a chaos grid pays nothing for the capability.
+
+The wrappers model *hardware* faults -- the true physical state
+diverges from what the controller commanded.  Sensor corruption is the
+other half: :class:`SensorTap` corrupts what the controller *reads*.
+The supervisor (:mod:`repro.faults.supervisor`) is what closes the
+loop by detecting both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..battery.cell import Cell
+from ..battery.switch import BatterySelection, BatterySwitch
+from ..thermal.tec import TECUnit
+from .schedule import CellFault, FaultRuntime, SensorFault, SwitchFault, TecFault
+
+__all__ = ["FaultyBatterySwitch", "FaultyTEC", "FaultyCell", "SensorTap"]
+
+
+@dataclass
+class FaultyBatterySwitch(BatterySwitch):
+    """A :class:`BatterySwitch` whose requests can be dropped or slowed.
+
+    Refused requests leave the event log, ``switch_count`` and
+    ``energy_spent_j`` untouched -- a dropped request costs nothing,
+    exactly like a dwell-guard refusal on the healthy switch.
+    Contact-resistance growth raises ``switch_energy_j`` after each
+    committed event, so later switches cost more.
+    """
+
+    faults: Tuple[FaultRuntime, ...] = ()
+
+    #: Requests refused by an active fault (not by the dwell guard).
+    dropped_requests: int = field(init=False, default=0, repr=False)
+
+    def request(self, target: BatterySelection, now_s: float) -> bool:
+        if target is self._active:
+            return False
+        growth = 0.0
+        for rt in self.faults:
+            spec = rt.spec
+            if not isinstance(spec, SwitchFault) or not rt.active():
+                continue
+            if spec.stuck:
+                self.dropped_requests += 1
+                return False
+            if spec.extra_dwell_s and (
+                    now_s - self._last_switch_time
+                    < self.min_dwell_s + spec.extra_dwell_s):
+                self.dropped_requests += 1
+                return False
+            if spec.drop_probability and rt.rng.random() < spec.drop_probability:
+                self.dropped_requests += 1
+                return False
+            growth += spec.contact_growth_j
+        committed = super().request(target, now_s)
+        if committed and growth:
+            self.switch_energy_j += growth
+        return committed
+
+
+@dataclass
+class FaultyTEC(TECUnit):
+    """A :class:`TECUnit` that can die, stick on, or pump derated heat.
+
+    ``commanded`` preserves the controller's intent so the supervisor
+    can compare commanded vs. observed state; the physical ``is_on``
+    reflects what the (possibly stuck) driver actually did.
+    """
+
+    faults: Tuple[FaultRuntime, ...] = ()
+
+    _commanded: bool = field(init=False, default=False, repr=False)
+
+    @property
+    def commanded(self) -> bool:
+        """The last commanded state (what the controller asked for)."""
+        return self._commanded
+
+    def set_on(self, on: bool) -> None:
+        self._commanded = on
+        for rt in self.faults:
+            spec = rt.spec
+            if not isinstance(spec, TecFault) or not rt.active():
+                continue
+            if spec.stuck_off:
+                on = False
+            elif spec.stuck_on:
+                on = True
+        super().set_on(on)
+
+    def _derate(self) -> float:
+        derate = 1.0
+        for rt in self.faults:
+            spec = rt.spec
+            if isinstance(spec, TecFault) and spec.derate < 1.0 and rt.active():
+                derate *= spec.derate
+        return derate
+
+    def heat_flows(self, dt: float, cold_temp_c: float, hot_temp_c: float):
+        flows = super().heat_flows(dt, cold_temp_c, hot_temp_c)
+        if not flows:
+            return flows
+        derate = self._derate()
+        if derate == 1.0:
+            return flows
+        # The electrical draw is unchanged (the driver still burns its
+        # watts); only the useful pumping shrinks.
+        pumped = -flows[self.cold_node] * derate
+        return {
+            self.cold_node: -pumped,
+            self.hot_node: pumped + self.drive_power_w,
+        }
+
+
+@dataclass
+class FaultyCell(Cell):
+    """A :class:`Cell` with an accelerated-aging anomaly attached.
+
+    While a :class:`~repro.faults.schedule.CellFault` is active, a leak
+    current drains the wells on top of the load and an exponential
+    capacity fade shrinks both wells -- the stochastic degradation
+    regime of the hybrid-automaton battery models.
+    """
+
+    faults: Tuple[FaultRuntime, ...] = ()
+
+    def _step_wells(self, current_a: float, dt: float) -> None:
+        if dt <= 0:
+            return super()._step_wells(current_a, dt)
+        leak = 0.0
+        fade = 0.0
+        for rt in self.faults:
+            spec = rt.spec
+            if isinstance(spec, CellFault) and rt.active():
+                leak += spec.leak_a
+                fade += spec.fade_per_s
+        super()._step_wells(current_a + leak, dt)
+        if fade > 0.0:
+            scale = math.exp(-fade * dt)
+            self._available *= scale
+            self._bound *= scale
+
+
+class SensorTap:
+    """Corrupts one sensor channel on its way to the controller.
+
+    Applies each active :class:`SensorFault` in spec order: bias and
+    Gaussian noise are additive; a dropout holds the last value the
+    tap reported (last-value-hold, the classic frozen-gauge failure);
+    a NaN spike emits ``nan``.  With no active fault the tap is the
+    identity function.
+    """
+
+    def __init__(self, channel: str, runtimes: Tuple[FaultRuntime, ...]) -> None:
+        self.channel = channel
+        self.runtimes = tuple(runtimes)
+        self._held: Optional[float] = None
+
+    def read(self, true_value: float) -> float:
+        value = true_value
+        for rt in self.runtimes:
+            spec = rt.spec
+            if not isinstance(spec, SensorFault) or not rt.active():
+                continue
+            if spec.dropout_probability and rt.rng.random() < spec.dropout_probability:
+                return self._held if self._held is not None else value
+            if spec.nan_probability and rt.rng.random() < spec.nan_probability:
+                return float("nan")
+            value += spec.bias
+            if spec.noise_std:
+                value += rt.rng.gauss(0.0, spec.noise_std)
+        self._held = value
+        return value
+
+
+def tap_map(runtime, channels=("cpu_temp", "surface_temp", "soc_big", "soc_little")) -> Dict[str, SensorTap]:
+    """One :class:`SensorTap` per controller-facing channel."""
+    return {ch: SensorTap(ch, tuple(runtime.sensor_runtimes(ch))) for ch in channels}

@@ -1,0 +1,320 @@
+"""Deterministic fault schedules: what breaks, when, and how badly.
+
+A :class:`FaultSchedule` is a frozen, declarative description of every
+fault injected into one scenario -- the analogue of a workload trace
+for the failure dimension.  Each fault couples a *model* (what breaks:
+a stuck switch, a derated TEC, a noisy sensor, a leaking cell) to a
+:class:`FaultTrigger` (when it is active: a time window, an armed
+condition, an intermittent duty cycle).
+
+Determinism contract: the schedule's ``seed`` derives one private
+``random.Random`` stream per fault (keyed by schedule seed + fault
+index), and triggers depend only on simulation time and observed
+state.  The same seed + schedule therefore produce bit-identical fault
+behaviour and an identical event log on every run -- which is also
+what makes faulty scenario cells cacheable by the sweep engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .events import EventLog
+
+__all__ = [
+    "FaultTrigger",
+    "SwitchFault",
+    "TecFault",
+    "SensorFault",
+    "CellFault",
+    "FaultSpec",
+    "FaultSchedule",
+    "Observation",
+    "FaultRuntime",
+    "ScheduleRuntime",
+]
+
+#: Comparison operators allowed in condition triggers.
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class FaultTrigger:
+    """When a fault is active.
+
+    Parameters
+    ----------
+    start_s / end_s:
+        Absolute activation window in simulation time.
+    when:
+        Optional arming condition ``(field, op, value)`` evaluated
+        against the live :class:`Observation` (fields: ``time_s``,
+        ``cpu_temp_c``, ``soc_big``, ``soc_little``).  The trigger
+        latches the first time the condition holds and stays armed.
+    period_s / duty:
+        Optional intermittence: within the window the fault is active
+        for the first ``duty`` fraction of every ``period_s`` cycle.
+    """
+
+    start_s: float = 0.0
+    end_s: float = math.inf
+    when: Optional[Tuple[str, str, float]] = None
+    period_s: Optional[float] = None
+    duty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("trigger window must have end_s >= start_s")
+        if not 0.0 < self.duty <= 1.0:
+            raise ValueError("duty must lie in (0, 1]")
+        if self.period_s is not None and self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.when is not None and self.when[1] not in _OPS:
+            raise ValueError(f"unknown condition operator {self.when[1]!r}")
+
+    def phase_active(self, now_s: float) -> bool:
+        """Window + intermittence check (condition latching is runtime state)."""
+        if not self.start_s <= now_s < self.end_s:
+            return False
+        if self.period_s is None:
+            return True
+        return ((now_s - self.start_s) % self.period_s) < self.duty * self.period_s
+
+    def condition_met(self, obs: "Observation") -> bool:
+        """Evaluate the arming condition against an observation."""
+        if self.when is None:
+            return True
+        fld, op, value = self.when
+        return _OPS[op](getattr(obs, fld), value)
+
+
+# ----------------------------------------------------------------------
+# Fault models (what breaks)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SwitchFault:
+    """Battery-switch degradation.
+
+    ``stuck`` refuses every request; ``drop_probability`` drops a
+    request with the fault's seeded RNG; ``extra_dwell_s`` models a
+    slow comparator (requests inside the extended dwell are refused);
+    ``contact_growth_j`` grows the per-switch energy cost after every
+    committed event (contact-resistance wear).
+    """
+
+    trigger: FaultTrigger = field(default_factory=FaultTrigger)
+    stuck: bool = False
+    drop_probability: float = 0.0
+    extra_dwell_s: float = 0.0
+    contact_growth_j: float = 0.0
+
+    @property
+    def target(self) -> str:
+        return "switch"
+
+
+@dataclass(frozen=True)
+class TecFault:
+    """TEC degradation / hard failure.
+
+    ``stuck_off`` ignores on-commands (dead driver); ``stuck_on``
+    ignores off-commands; ``derate`` scales the pumped heat while
+    active (worn-out module).
+    """
+
+    trigger: FaultTrigger = field(default_factory=FaultTrigger)
+    stuck_off: bool = False
+    stuck_on: bool = False
+    derate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stuck_off and self.stuck_on:
+            raise ValueError("a TEC cannot be stuck off and stuck on at once")
+        if not 0.0 <= self.derate <= 1.0:
+            raise ValueError("derate must lie in [0, 1]")
+
+    @property
+    def target(self) -> str:
+        return "tec"
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """Corruption of one sensor channel the controller consumes.
+
+    Channels: ``cpu_temp``, ``surface_temp``, ``soc_big``,
+    ``soc_little`` (the SoC gauges stand in for the voltage-derived
+    fuel gauge).  ``dropout_probability`` holds the last reported
+    value; ``nan_probability`` emits a NaN spike.
+    """
+
+    channel: str = "cpu_temp"
+    trigger: FaultTrigger = field(default_factory=FaultTrigger)
+    noise_std: float = 0.0
+    bias: float = 0.0
+    dropout_probability: float = 0.0
+    nan_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for p in (self.dropout_probability, self.nan_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must lie in [0, 1]")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+    @property
+    def target(self) -> str:
+        return f"sensor:{self.channel}"
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """Accelerated cell-aging anomaly.
+
+    ``fade_per_s`` shrinks both KiBaM wells exponentially while active
+    (capacity fade); ``leak_a`` adds a self-discharge current.
+    """
+
+    cell: str = "big"
+    trigger: FaultTrigger = field(default_factory=FaultTrigger)
+    fade_per_s: float = 0.0
+    leak_a: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cell not in ("big", "little"):
+            raise ValueError("cell must be 'big' or 'little'")
+        if self.fade_per_s < 0 or self.leak_a < 0:
+            raise ValueError("fault magnitudes must be non-negative")
+
+    @property
+    def target(self) -> str:
+        return f"cell:{self.cell}"
+
+
+FaultSpec = Union[SwitchFault, TecFault, SensorFault, CellFault]
+
+
+# ----------------------------------------------------------------------
+# Schedule (declarative) and runtime (per-cycle state)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, seeded collection of fault specs.
+
+    Frozen and built only from frozen specs, so a schedule hashes
+    cleanly into the sweep engine's content-addressed cache keys.
+    An empty schedule is the nominal (fault-free) scenario.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        """Scenario label: the explicit name, or nominal/faultsN."""
+        if self.name:
+            return self.name
+        return "nominal" if not self.faults else f"faults{len(self.faults)}"
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def runtime(self) -> "ScheduleRuntime":
+        """Fresh per-cycle runtime state (latches, RNG streams, log)."""
+        return ScheduleRuntime(self)
+
+
+@dataclass
+class Observation:
+    """Mutable snapshot of the true system state, fed to triggers.
+
+    Updated once per control tick by the harness; condition triggers
+    and injectors read it (injected hardware "knows" the true state --
+    only the *controller* sees corrupted sensors).
+    """
+
+    time_s: float = 0.0
+    cpu_temp_c: float = 25.0
+    soc_big: float = 1.0
+    soc_little: float = 1.0
+
+
+class FaultRuntime:
+    """One fault's live state: condition latch, RNG stream, activity edge.
+
+    ``active()`` is the single query injectors use; it also records
+    activation/clearing edges on the shared event log, so the log
+    doubles as the injection ground truth.
+    """
+
+    def __init__(self, spec: FaultSpec, rng: random.Random,
+                 bus: Observation, log: EventLog) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.bus = bus
+        self.log = log
+        self._latched = spec.trigger.when is None
+        self._was_active = False
+
+    def active(self) -> bool:
+        """Whether the fault is active right now (logs edges)."""
+        trigger = self.spec.trigger
+        if not self._latched and trigger.condition_met(self.bus):
+            self._latched = True
+        is_active = self._latched and trigger.phase_active(self.bus.time_s)
+        if is_active != self._was_active:
+            if is_active:
+                self.log.record_fault(
+                    self.bus.time_s, self.spec.target, "injected",
+                    type(self.spec).__name__)
+            else:
+                self.log.record_recovery(
+                    self.bus.time_s, self.spec.target, "injection-cleared",
+                    type(self.spec).__name__)
+            self._was_active = is_active
+        return is_active
+
+
+class ScheduleRuntime:
+    """Per-cycle state for a whole schedule: bus, log, fault runtimes."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.bus = Observation()
+        self.log = EventLog()
+        self.runtimes: List[FaultRuntime] = [
+            FaultRuntime(spec, random.Random(f"{schedule.seed}:{i}"),
+                         self.bus, self.log)
+            for i, spec in enumerate(schedule.faults)
+        ]
+
+    def observe(self, time_s: float, cpu_temp_c: float,
+                soc_big: float, soc_little: float) -> None:
+        """Refresh the true-state bus (call once per control tick)."""
+        self.bus.time_s = time_s
+        self.bus.cpu_temp_c = cpu_temp_c
+        self.bus.soc_big = soc_big
+        self.bus.soc_little = soc_little
+
+    def of_type(self, cls) -> List[FaultRuntime]:
+        """Runtimes whose spec is an instance of ``cls``."""
+        return [rt for rt in self.runtimes if isinstance(rt.spec, cls)]
+
+    def sensor_runtimes(self, channel: str) -> List[FaultRuntime]:
+        """Sensor-fault runtimes for one channel, in spec order."""
+        return [rt for rt in self.runtimes
+                if isinstance(rt.spec, SensorFault) and rt.spec.channel == channel]
+
+    def cell_runtimes(self, which: str) -> List[FaultRuntime]:
+        """Cell-fault runtimes for the big or little cell."""
+        return [rt for rt in self.runtimes
+                if isinstance(rt.spec, CellFault) and rt.spec.cell == which]

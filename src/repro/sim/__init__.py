@@ -1,6 +1,7 @@
 """Simulation engine: control stepping, metrics, discharge cycles,
-multi-day discharge/charge/aging runs, and the parallel scenario-sweep
-engine that drives the evaluation grids."""
+multi-day discharge/charge/aging runs, the parallel scenario-sweep
+engine that drives the evaluation grids, and the chaos harness that
+crosses those grids with fault scenarios."""
 
 from .daily import DayRecord, MultiDayResult, run_days
 from .discharge import (
@@ -12,12 +13,24 @@ from .discharge import (
 from .engine import ControlStep, iter_control_steps
 from .metrics import MetricsRecorder, TimeSeries
 from .sweep import (
+    CellFailure,
+    CellTimeoutError,
     ScenarioCell,
     ScenarioRunner,
     SimStats,
     SweepCache,
     SweepResult,
     SweepSpec,
+)
+
+# chaos depends on everything above; keep it last.
+from .chaos import (
+    ChaosReport,
+    ChaosRow,
+    ChaosSpec,
+    FaultScenario,
+    run_chaos,
+    standard_scenarios,
 )
 
 __all__ = [
@@ -32,10 +45,18 @@ __all__ = [
     "iter_control_steps",
     "MetricsRecorder",
     "TimeSeries",
+    "CellFailure",
+    "CellTimeoutError",
     "ScenarioCell",
     "ScenarioRunner",
     "SimStats",
     "SweepCache",
     "SweepResult",
     "SweepSpec",
+    "ChaosReport",
+    "ChaosRow",
+    "ChaosSpec",
+    "FaultScenario",
+    "run_chaos",
+    "standard_scenarios",
 ]

@@ -77,6 +77,16 @@ class SchedulingPolicy(abc.ABC):
     def decide_battery(self, ctx: PolicyContext) -> Optional[BatterySelection]:
         """The battery to use next; None keeps the current selection."""
 
+    def filter_demand(self, demand: DemandSlice, ctx: PolicyContext) -> DemandSlice:
+        """Optionally rewrite the demand before it hits the plant.
+
+        The default is the identity; a supervised policy in thermal
+        fallback overrides this to frequency-throttle the workload.
+        The harness only calls the hook when it is overridden, so
+        ordinary policies pay nothing.
+        """
+        return demand
+
 
 @dataclass
 class DischargeResult:
@@ -105,6 +115,12 @@ class DischargeResult:
     step_count: int = 0
     #: Wall-clock time spent inside the cycle loop (s).
     wall_time_s: float = 0.0
+    #: Structured fault/recovery events (supervised policies only).
+    fault_events: Tuple = ()
+    #: Degraded mode at end of cycle ("normal" when unsupervised).
+    final_mode: str = "normal"
+    #: Degraded-mode transitions over the cycle.
+    mode_transitions: int = 0
 
     @property
     def mean_power_w(self) -> float:
@@ -172,6 +188,11 @@ def run_discharge_cycle(
     set_tec = phone.set_tec
     thermostat_update = thermostat.update
     phone_step = phone.step
+    filter_demand = (
+        policy.filter_demand
+        if type(policy).filter_demand is not SchedulingPolicy.filter_demand
+        else None
+    )
     record = metrics.record
     thermal_temperature = phone.thermal.temperature
     big_sel = BatterySelection.BIG
@@ -209,6 +230,8 @@ def run_discharge_cycle(
             select_battery(choice)
         if uses_tec:
             set_tec(thermostat_update(cpu_temp, step.start_s))
+        if filter_demand is not None:
+            demand = filter_demand(demand, ctx)
 
         outcome: StepOutcome = phone_step(demand, step.dt)
 
@@ -241,6 +264,15 @@ def run_discharge_cycle(
 
     switch_count = pack.switch.switch_count if dual else 0
     tec: TECUnit = phone.tec
+    fault_events: Tuple = ()
+    final_mode = "normal"
+    mode_transitions = 0
+    reporter = getattr(policy, "fault_report", None)
+    if callable(reporter):
+        report = reporter()
+        fault_events = tuple(report.get("events", ()))
+        final_mode = str(report.get("mode", "normal"))
+        mode_transitions = int(report.get("mode_transitions", 0))
     return DischargeResult(
         policy_name=policy.name,
         workload_name=trace.name,
@@ -256,6 +288,9 @@ def run_discharge_cycle(
         metrics=metrics,
         step_count=step_index,
         wall_time_s=time.perf_counter() - wall_start,
+        fault_events=fault_events,
+        final_mode=final_mode,
+        mode_transitions=mode_transitions,
     )
 
 

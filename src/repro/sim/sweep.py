@@ -15,7 +15,12 @@ that implicit pattern into an explicit engine:
   configuration plus a code-version salt lets a re-run recompute only
   the cells whose inputs actually changed;
 * :class:`SimStats` reports throughput (control steps/s), per-phase
-  wall times and cache hit/miss counts next to the results.
+  wall times and cache hit/miss counts next to the results;
+* failures are contained per cell: a raising cell (or one that blows
+  its per-cell timeout) comes back as a :class:`CellFailure` carrying
+  the traceback, and a killed worker (``BrokenProcessPool``) triggers
+  bounded retries in isolated single-cell pools -- the rest of the
+  grid always completes, and failed cells are never cached.
 
 Every scenario cell is pure: it builds its own policy copy, pack and
 phone, so cells never share mutable state.  That is what makes the
@@ -30,7 +35,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,10 +57,43 @@ __all__ = [
     "SweepResult",
     "SweepCache",
     "ScenarioRunner",
+    "CellFailure",
+    "CellTimeoutError",
 ]
 
 #: Result type of a single scenario cell.
 CellResult = Union[DischargeResult, MultiDayResult]
+
+
+class CellTimeoutError(RuntimeError):
+    """A scenario cell exceeded the runner's per-cell timeout."""
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A scenario cell that could not produce a result.
+
+    Stored in the result slot of its cell so the rest of the sweep
+    stays intact; carries enough to debug the cell offline.
+    """
+
+    #: The failed cell's human-readable label.
+    label: str
+    #: Exception class name (or "BrokenProcessPool" for a dead worker).
+    error_type: str
+    #: Exception message.
+    message: str
+    #: Formatted traceback ("" when the worker died without one).
+    traceback: str = ""
+    #: Execution attempts consumed (1 = no retries needed/left).
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.error_type}: {self.message}"
+
+
+#: What a result slot can hold once failures are contained per cell.
+CellOutcome = Union[DischargeResult, MultiDayResult, CellFailure]
 
 
 # ----------------------------------------------------------------------
@@ -314,6 +354,10 @@ class SimStats:
 
     cells_total: int = 0
     cells_computed: int = 0
+    #: Cells whose slot holds a :class:`CellFailure`.
+    cells_failed: int = 0
+    #: Extra execution attempts spent on retries (worker deaths).
+    cell_retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     #: Control steps across computed cells (cache hits excluded).
@@ -344,21 +388,37 @@ class SimStats:
 
 @dataclass
 class SweepResult:
-    """Ordered results of a sweep plus run statistics."""
+    """Ordered results of a sweep plus run statistics.
+
+    A result slot holds the cell's :data:`CellResult` -- or a
+    :class:`CellFailure` when the cell raised, timed out or its worker
+    died; ``failures``/``succeeded`` split the two.
+    """
 
     cells: List[ScenarioCell]
-    results: List[CellResult]
+    results: List[CellOutcome]
     stats: SimStats
 
-    def __iter__(self) -> Iterator[Tuple[ScenarioCell, CellResult]]:
+    def __iter__(self) -> Iterator[Tuple[ScenarioCell, CellOutcome]]:
         return iter(zip(self.cells, self.results))
 
-    def get(self, **axes: Any) -> CellResult:
+    @property
+    def failures(self) -> List[Tuple[ScenarioCell, CellFailure]]:
+        """Cells whose slot holds a failure, in spec order."""
+        return [(c, r) for c, r in self if isinstance(r, CellFailure)]
+
+    @property
+    def succeeded(self) -> List[Tuple[ScenarioCell, CellResult]]:
+        """Cells that produced a real result, in spec order."""
+        return [(c, r) for c, r in self if not isinstance(r, CellFailure)]
+
+    def get(self, **axes: Any) -> CellOutcome:
         """The unique result matching the given axis values.
 
         Axes are matched against ``policy_key`` (``policy=...``),
         ``trace_key`` (``trace=...``), ``profile_key``
         (``profile=...``), ``control_dt`` and ``ambient_c``.
+        Returns the failure object itself for a failed cell.
         """
         matches = [r for c, r in self if _cell_matches(c, axes)]
         if not matches:
@@ -425,15 +485,62 @@ def _execute_cell(cell: ScenarioCell) -> CellResult:
     return result
 
 
-def _timed_cell(cell: ScenarioCell) -> Tuple[int, CellResult, float, int]:
-    """(index, result, compute seconds, steps) for one cell.
+def _execute_with_timeout(cell: ScenarioCell,
+                          timeout_s: Optional[float]) -> CellResult:
+    """Run one cell under a wall-clock budget (SIGALRM, where possible).
+
+    The alarm only works on the main thread of a POSIX process -- which
+    is exactly where ProcessPoolExecutor workers (and the serial path)
+    run cells.  Elsewhere the timeout degrades to "no timeout" rather
+    than failing.
+    """
+    if not timeout_s or timeout_s <= 0:
+        return _execute_cell(cell)
+    try:
+        import signal
+    except ImportError:  # pragma: no cover - signal is POSIX-universal
+        return _execute_cell(cell)
+    if (not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        return _execute_cell(cell)
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(
+            f"cell exceeded the per-cell timeout of {timeout_s} s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return _execute_cell(cell)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _timed_cell(
+    cell: ScenarioCell, timeout_s: Optional[float] = None
+) -> Tuple[int, CellOutcome, float, int]:
+    """(index, outcome, compute seconds, steps) for one cell.
 
     The measured wall time is harvested into :class:`SimStats` and the
     result's own ``wall_time_s`` is zeroed, keeping payloads (and hence
     cache entries and parallel-vs-serial comparisons) deterministic.
+    An exception inside the cell (including a timeout) is captured as a
+    :class:`CellFailure` instead of propagating -- one broken scenario
+    must not abort the grid.
     """
     started = time.perf_counter()
-    result = _execute_cell(cell)
+    try:
+        result: CellOutcome = _execute_with_timeout(cell, timeout_s)
+    except Exception as exc:
+        elapsed = time.perf_counter() - started
+        failure = CellFailure(
+            label=cell.label,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_module.format_exc(),
+        )
+        return cell.index, failure, elapsed, 0
     elapsed = time.perf_counter() - started
     steps = int(getattr(result, "step_count", 0))
     if hasattr(result, "wall_time_s"):
@@ -452,10 +559,20 @@ class ScenarioRunner:
         and are identical for every worker count.
     cache:
         A :class:`SweepCache`, a directory path for one, or ``None``
-        to disable caching.
+        to disable caching.  Failed cells are never cached.
     salt:
         Cache-key salt override; defaults to :func:`code_salt` so code
         edits invalidate old entries.
+    retries:
+        Extra execution attempts for a cell whose *worker died*
+        (``BrokenProcessPool``); retried cells run in isolated
+        single-cell pools so a crash-looping cell cannot take healthy
+        cells down with it.  Exceptions raised *inside* a cell are
+        deterministic simulator failures and are reported immediately
+        without retry.
+    cell_timeout_s:
+        Optional per-cell wall-clock budget; a cell over budget is
+        reported as a :class:`CellFailure` (``CellTimeoutError``).
     """
 
     def __init__(
@@ -463,6 +580,8 @@ class ScenarioRunner:
         workers: Optional[int] = None,
         cache: Union[SweepCache, str, Path, None] = None,
         salt: Optional[str] = None,
+        retries: int = 1,
+        cell_timeout_s: Optional[float] = None,
     ) -> None:
         if workers == 0:
             workers = os.cpu_count() or 1
@@ -471,6 +590,10 @@ class ScenarioRunner:
             cache = SweepCache(cache)
         self.cache = cache
         self._salt = salt
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.retries = retries
+        self.cell_timeout_s = cell_timeout_s
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
@@ -505,18 +628,22 @@ class ScenarioRunner:
 
         if pending:
             if self.workers > 1 and len(pending) > 1:
-                computed = self._run_parallel(pending)
+                computed = self._run_parallel(pending, stats)
             else:
-                computed = [_timed_cell(cell) for cell in pending]
+                computed = [_timed_cell(cell, self.cell_timeout_s)
+                            for cell in pending]
             for index, result, elapsed, steps in computed:
                 results[index] = result
                 stats.compute_wall_s += elapsed
                 stats.steps_total += steps
                 stats.cells_computed += 1
+                if isinstance(result, CellFailure):
+                    stats.cells_failed += 1
             if self.cache is not None:
                 cache_started = time.perf_counter()
                 for index, result, _, _ in computed:
-                    self.cache.put(keys[index], result)  # type: ignore[arg-type]
+                    if not isinstance(result, CellFailure):
+                        self.cache.put(keys[index], result)  # type: ignore[arg-type]
                 stats.cache_wall_s += time.perf_counter() - cache_started
 
         stats.total_wall_s = time.perf_counter() - run_started
@@ -524,8 +651,59 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------
     def _run_parallel(
-        self, pending: Sequence[ScenarioCell]
-    ) -> List[Tuple[int, CellResult, float, int]]:
-        workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_timed_cell, pending))
+        self, pending: Sequence[ScenarioCell], stats: SimStats
+    ) -> List[Tuple[int, CellOutcome, float, int]]:
+        """Fan out with containment for killed workers.
+
+        Exceptions raised *inside* a cell never reach the pool (the
+        worker converts them to :class:`CellFailure` payloads); the
+        only way a future raises here is infrastructure failure -- the
+        worker process died (OOM-kill, segfault, ``os._exit``), which
+        breaks the whole pool and poisons every in-flight future.
+        Those cells are retried in fresh *single-cell* pools, so a
+        cell that reliably kills its worker exhausts only its own
+        retry budget while the innocent bystanders complete.
+        """
+        outcomes: Dict[int, Tuple[int, CellOutcome, float, int]] = {}
+        attempts: Dict[int, int] = {cell.index: 0 for cell in pending}
+        todo: List[ScenarioCell] = list(pending)
+        isolate = False
+        while todo:
+            retry: List[ScenarioCell] = []
+            groups = [[cell] for cell in todo] if isolate else [todo]
+            for group in groups:
+                workers = min(self.workers, len(group))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        (pool.submit(_timed_cell, cell, self.cell_timeout_s),
+                         cell)
+                        for cell in group
+                    ]
+                    for future, cell in futures:
+                        try:
+                            index, outcome, elapsed, steps = future.result()
+                        except Exception as exc:
+                            attempts[cell.index] += 1
+                            if attempts[cell.index] > self.retries:
+                                failure = CellFailure(
+                                    label=cell.label,
+                                    error_type=type(exc).__name__,
+                                    message=str(exc) or "worker process died",
+                                    attempts=attempts[cell.index],
+                                )
+                                outcomes[cell.index] = (cell.index, failure,
+                                                        0.0, 0)
+                            else:
+                                stats.cell_retries += 1
+                                retry.append(cell)
+                            continue
+                        if (isinstance(outcome, CellFailure)
+                                and attempts[cell.index]):
+                            outcome = dataclasses.replace(
+                                outcome,
+                                attempts=attempts[cell.index] + 1)
+                        outcomes[cell.index] = (index, outcome, elapsed, steps)
+            todo = retry
+            # After any pool breakage, quarantine survivors one per pool.
+            isolate = True
+        return [outcomes[cell.index] for cell in pending]

@@ -108,11 +108,14 @@ class ThermalNetwork:
         Negative injections remove heat (a TEC's cold side).  Returns
         the post-step temperature snapshot.
         """
-        if dt <= 0:
-            raise ValueError("dt must be positive")
-        for name in injections_w:
+        if not (dt > 0 and math.isfinite(dt)):
+            raise ValueError("dt must be positive and finite")
+        for name, power in injections_w.items():
             if name not in self._nodes:
                 raise KeyError(f"unknown thermal node {name!r}")
+            if not math.isfinite(power):
+                raise ValueError(
+                    f"injection at {name!r} must be finite, got {power!r}")
 
         names, links, active, sub = self._compile()
         steps = max(1, int(math.ceil(dt / sub)))

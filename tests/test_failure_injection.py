@@ -95,6 +95,53 @@ class TestPathologicalRegimes:
             assert out.cpu_temp_c > 0.0
 
 
+class TestNonFiniteInputs:
+    """NaN/inf must be rejected loudly, not integrated into the physics."""
+
+    def test_cell_rejects_nan_power(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                cell.draw_power(bad, 1.0)
+
+    def test_cell_rejects_nan_dt(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        for bad in (float("nan"), float("inf"), -1.0, 0.0):
+            with pytest.raises(ValueError):
+                cell.draw_power(1.0, bad)
+
+    def test_cell_rest_rejects_bad_dt(self):
+        cell = Cell(NCA, capacity_mah=100.0)
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                cell.rest(bad)
+        cell.rest(0.0)  # zero idle time is a no-op, not an error
+
+    def test_thermal_network_rejects_nan_dt(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("hot", 1.0, 25.0))
+        for bad in (float("nan"), float("inf"), 0.0, -1.0):
+            with pytest.raises(ValueError):
+                net.step(bad, {})
+
+    def test_thermal_network_rejects_nan_injection(self):
+        net = ThermalNetwork()
+        net.add_node(ThermalNode("hot", 1.0, 25.0))
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                net.step(1.0, {"hot": bad})
+        # The state is untouched by the rejected step.
+        assert net.temperature("hot") == 25.0
+
+    def test_phone_rejects_nan_dt(self):
+        phone = Phone(pack=BigLittlePack.from_chemistries(
+            *__import__("repro.battery.chemistry",
+                        fromlist=["pick_big_little"]).pick_big_little(), 300.0))
+        for bad in (float("nan"), float("inf"), 0.0):
+            with pytest.raises(ValueError):
+                phone.step(DemandSlice(), bad)
+
+
 class TestMisuse:
     def test_policy_without_cycle_start(self):
         with pytest.raises(RuntimeError):

@@ -1,0 +1,316 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Pins the two contracts ISSUE 3 makes explicit:
+
+* an **empty schedule** leaves every fault-capable wrapper bit-identical
+  to the unwrapped component, so the nominal scenario pays nothing;
+* a **seeded schedule** is deterministic -- the same seed + schedule
+  produce an identical FaultEvent log (and identical physics) on every
+  run.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.battery.cell import Cell
+from repro.battery.chemistry import NCA, pick_big_little
+from repro.battery.switch import BatterySelection, BatterySwitch
+from repro.capman.baselines import DualPolicy
+from repro.capman.controller import CapmanPolicy
+from repro.faults import (
+    CellFault,
+    EventLog,
+    FaultSchedule,
+    FaultTrigger,
+    FaultyBatterySwitch,
+    FaultyCell,
+    FaultyTEC,
+    Observation,
+    SensorFault,
+    SensorTap,
+    SupervisedPolicy,
+    SwitchFault,
+    TecFault,
+)
+from repro.sim.discharge import run_discharge_cycle
+from repro.thermal.tec import TECUnit
+from repro.workload.generators import GeekbenchWorkload, VideoWorkload
+from repro.workload.traces import record_trace
+
+
+def _runtime(*faults, seed=0):
+    return FaultSchedule(faults=tuple(faults), seed=seed).runtime()
+
+
+class TestTrigger:
+    def test_window(self):
+        t = FaultTrigger(start_s=10.0, end_s=20.0)
+        assert not t.phase_active(5.0)
+        assert t.phase_active(10.0)
+        assert t.phase_active(19.9)
+        assert not t.phase_active(20.0)
+
+    def test_intermittent_duty(self):
+        t = FaultTrigger(period_s=10.0, duty=0.3)
+        assert t.phase_active(1.0)       # first 3 s of each cycle
+        assert not t.phase_active(5.0)
+        assert t.phase_active(11.0)
+
+    def test_condition_latches(self):
+        rt = _runtime(SwitchFault(
+            trigger=FaultTrigger(when=("cpu_temp_c", ">=", 45.0)), stuck=True))
+        fault = rt.runtimes[0]
+        rt.observe(0.0, 30.0, 1.0, 1.0)
+        assert not fault.active()
+        rt.observe(1.0, 46.0, 1.0, 1.0)
+        assert fault.active()
+        # Cooling back down does not disarm a latched condition.
+        rt.observe(2.0, 30.0, 1.0, 1.0)
+        assert fault.active()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultTrigger(start_s=5.0, end_s=1.0)
+        with pytest.raises(ValueError):
+            FaultTrigger(duty=0.0)
+        with pytest.raises(ValueError):
+            FaultTrigger(when=("cpu_temp_c", "!=", 1.0))
+
+    def test_edges_logged_once_per_transition(self):
+        rt = _runtime(TecFault(
+            trigger=FaultTrigger(start_s=10.0, end_s=20.0), stuck_off=True))
+        fault = rt.runtimes[0]
+        for t in (0.0, 5.0, 12.0, 15.0, 25.0, 30.0):
+            rt.observe(t, 30.0, 1.0, 1.0)
+            fault.active()
+        kinds = [(e.kind, e.time_s) for e in rt.log.events]
+        assert kinds == [("injected", 12.0), ("injection-cleared", 25.0)]
+
+
+class TestSpecValidation:
+    def test_tec_cannot_be_stuck_both_ways(self):
+        with pytest.raises(ValueError):
+            TecFault(stuck_off=True, stuck_on=True)
+
+    def test_sensor_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            SensorFault(dropout_probability=1.5)
+
+    def test_cell_fault_names(self):
+        with pytest.raises(ValueError):
+            CellFault(cell="medium")
+
+    def test_schedule_label(self):
+        assert FaultSchedule().label == "nominal"
+        assert FaultSchedule(faults=(SwitchFault(),)).label == "faults1"
+        assert FaultSchedule(name="x").label == "x"
+        assert not FaultSchedule()
+        assert FaultSchedule(faults=(SwitchFault(),))
+
+
+class TestEmptyScheduleBitIdentity:
+    """Fault-capable wrappers with no faults == the plain components."""
+
+    def test_switch_identical_op_sequence(self):
+        plain = BatterySwitch(min_dwell_s=3.0)
+        wrapped = FaultyBatterySwitch(min_dwell_s=3.0)
+        seq = [(BatterySelection.LITTLE, 0.0), (BatterySelection.BIG, 1.0),
+               (BatterySelection.BIG, 4.0), (BatterySelection.LITTLE, 8.0)]
+        for target, t in seq:
+            assert plain.request(target, t) == wrapped.request(target, t)
+        assert plain.events == wrapped.events
+        assert plain.energy_spent_j == wrapped.energy_spent_j
+        assert wrapped.dropped_requests == 0
+
+    def test_tec_identical_flows(self):
+        plain = TECUnit()
+        wrapped = FaultyTEC()
+        for on in (True, False, True):
+            plain.set_on(on)
+            wrapped.set_on(on)
+            assert plain.is_on == wrapped.is_on
+            assert (plain.heat_flows(1.0, 40.0, 30.0)
+                    == wrapped.heat_flows(1.0, 40.0, 30.0))
+            assert plain.power_w() == wrapped.power_w()
+
+    def test_cell_identical_draw_sequence(self):
+        plain = Cell(NCA, capacity_mah=100.0)
+        wrapped = FaultyCell(NCA, capacity_mah=100.0)
+        for power, dt in [(1.0, 30.0), (0.0, 60.0), (2.5, 10.0)]:
+            a = plain.draw_power(power, dt)
+            b = wrapped.draw_power(power, dt)
+            assert a == b
+        assert plain.state_of_charge == wrapped.state_of_charge
+
+    def test_sensor_tap_is_identity(self):
+        tap = SensorTap("cpu_temp", ())
+        assert tap.read(37.5) == 37.5
+
+    def test_supervised_policy_run_identical(self):
+        import dataclasses
+        trace = record_trace(VideoWorkload(seed=3), 120.0)
+        bare = run_discharge_cycle(DualPolicy(capacity_mah=40.0), trace,
+                                   max_duration_s=600.0)
+        sup = run_discharge_cycle(
+            SupervisedPolicy(inner=DualPolicy(capacity_mah=40.0)),
+            trace, max_duration_s=600.0)
+        assert sup.fault_events == ()
+        assert sup.final_mode == "normal"
+        # Bit-identical physics: only the name and bookkeeping differ.
+        a = dataclasses.replace(bare, policy_name="", wall_time_s=0.0)
+        b = dataclasses.replace(sup, policy_name="", wall_time_s=0.0)
+        assert pickle.dumps(a) == pickle.dumps(b)
+
+
+class TestDeterminism:
+    """Same seed + schedule => identical behaviour and event log."""
+
+    SCHEDULE = FaultSchedule(
+        faults=(
+            SwitchFault(trigger=FaultTrigger(start_s=30.0),
+                        drop_probability=0.5),
+            TecFault(trigger=FaultTrigger(start_s=60.0), stuck_off=True),
+            SensorFault(channel="cpu_temp", trigger=FaultTrigger(start_s=20.0),
+                        noise_std=1.5, dropout_probability=0.2,
+                        nan_probability=0.05),
+            CellFault(cell="big", trigger=FaultTrigger(start_s=40.0),
+                      leak_a=0.02),
+        ),
+        seed=7,
+        name="everything",
+    )
+
+    def _run(self):
+        trace = record_trace(GeekbenchWorkload(seed=2), 180.0)
+        policy = SupervisedPolicy(inner=CapmanPolicy(capacity_mah=200.0),
+                                  schedule=self.SCHEDULE)
+        return run_discharge_cycle(policy, trace, max_duration_s=600.0)
+
+    def test_event_log_reproduces_exactly(self):
+        a = self._run()
+        b = self._run()
+        assert a.fault_events == b.fault_events
+        assert len(a.fault_events) >= 1
+        assert a.service_time_s == b.service_time_s
+        assert a.energy_delivered_j == b.energy_delivered_j
+        assert a.final_mode == b.final_mode
+        assert a.mode_transitions == b.mode_transitions
+
+    def test_different_seed_differs(self):
+        import dataclasses
+        trace = record_trace(GeekbenchWorkload(seed=2), 180.0)
+        runs = []
+        for seed in (7, 8):
+            sched = dataclasses.replace(self.SCHEDULE, seed=seed)
+            policy = SupervisedPolicy(inner=CapmanPolicy(capacity_mah=200.0),
+                                      schedule=sched)
+            runs.append(run_discharge_cycle(policy, trace,
+                                            max_duration_s=600.0))
+        # The stochastic faults (drops, noise) should diverge somewhere.
+        assert (runs[0].fault_events != runs[1].fault_events
+                or runs[0].energy_delivered_j != runs[1].energy_delivered_j)
+
+    def test_schedule_is_picklable_and_hashable_config(self):
+        blob = pickle.dumps(self.SCHEDULE)
+        assert pickle.loads(blob) == self.SCHEDULE
+
+
+class TestInjectors:
+    def test_stuck_switch_refuses_and_counts(self):
+        rt = _runtime(SwitchFault(stuck=True))
+        sw = FaultyBatterySwitch(faults=tuple(rt.runtimes))
+        assert not sw.request(BatterySelection.LITTLE, 1.0)
+        assert sw.active is BatterySelection.BIG
+        assert sw.switch_count == 0
+        assert sw.energy_spent_j == 0.0
+        assert sw.dropped_requests == 1
+
+    def test_contact_growth_raises_cost(self):
+        rt = _runtime(SwitchFault(contact_growth_j=0.05))
+        sw = FaultyBatterySwitch(switch_energy_j=0.1,
+                                 faults=tuple(rt.runtimes))
+        sw.request(BatterySelection.LITTLE, 0.0)
+        assert sw.energy_spent_j == pytest.approx(0.1)
+        sw.request(BatterySelection.BIG, 1.0)
+        # The second switch is billed at the grown cost.
+        assert sw.energy_spent_j == pytest.approx(0.1 + 0.15)
+
+    def test_tec_stuck_off_ignores_commands(self):
+        rt = _runtime(TecFault(stuck_off=True))
+        tec = FaultyTEC(faults=tuple(rt.runtimes))
+        tec.set_on(True)
+        assert tec.commanded is True
+        assert tec.is_on is False
+        assert tec.heat_flows(1.0, 50.0, 30.0) == {}
+
+    def test_tec_derate_shrinks_pumping_not_drive(self):
+        rt = _runtime(TecFault(derate=0.5))
+        tec = FaultyTEC(faults=tuple(rt.runtimes))
+        healthy = TECUnit()
+        tec.set_on(True)
+        healthy.set_on(True)
+        sick = tec.heat_flows(1.0, 50.0, 30.0)
+        good = healthy.heat_flows(1.0, 50.0, 30.0)
+        assert sick[tec.cold_node] == pytest.approx(
+            0.5 * good[tec.cold_node])
+        # Hot side still carries the full electrical drive power.
+        assert sick[tec.hot_node] == pytest.approx(
+            -sick[tec.cold_node] + tec.drive_power_w)
+
+    def test_cell_leak_drains_faster(self):
+        rt = _runtime(CellFault(cell="big", leak_a=0.05))
+        leaky = FaultyCell(NCA, capacity_mah=100.0, faults=tuple(rt.runtimes))
+        healthy = Cell(NCA, capacity_mah=100.0)
+        for _ in range(20):
+            leaky.draw_power(0.5, 30.0)
+            healthy.draw_power(0.5, 30.0)
+        assert leaky.state_of_charge < healthy.state_of_charge
+
+    def test_sensor_nan_and_dropout(self):
+        rt = _runtime(SensorFault(channel="cpu_temp", nan_probability=1.0))
+        tap = SensorTap("cpu_temp", tuple(rt.sensor_runtimes("cpu_temp")))
+        assert math.isnan(tap.read(40.0))
+
+        rt2 = _runtime(SensorFault(channel="cpu_temp",
+                                   dropout_probability=1.0))
+        tap2 = SensorTap("cpu_temp", tuple(rt2.sensor_runtimes("cpu_temp")))
+        first = tap2.read(40.0)   # nothing held yet: passes through
+        assert first == 40.0 or math.isnan(first)
+
+    def test_sensor_bias(self):
+        rt = _runtime(SensorFault(channel="soc_big", bias=-0.2))
+        tap = SensorTap("soc_big", tuple(rt.sensor_runtimes("soc_big")))
+        assert tap.read(0.8) == pytest.approx(0.6)
+
+
+class TestEventLog:
+    def test_counts_and_iteration(self):
+        log = EventLog()
+        log.record_fault(1.0, "tec", "injected")
+        log.record_recovery(2.0, "tec", "cleared")
+        assert log.fault_count == 1
+        assert log.recovery_count == 1
+        assert len(log) == 2
+        assert [e.time_s for e in log] == [1.0, 2.0]
+        snap = log.events
+        log.record_fault(3.0, "switch", "injected")
+        assert len(snap) == 2  # snapshot is immutable
+
+
+class TestSupervisedPackWiring:
+    def test_pack_components_wrapped_only_when_faulty(self):
+        sched = FaultSchedule(faults=(SwitchFault(stuck=True),
+                                      CellFault(cell="little", leak_a=0.01)))
+        policy = SupervisedPolicy(inner=CapmanPolicy(capacity_mah=100.0),
+                                  schedule=sched)
+        pack = policy.build_pack()
+        assert isinstance(pack.switch, FaultyBatterySwitch)
+        assert isinstance(pack.little, FaultyCell)
+        assert not isinstance(pack.big, FaultyCell)
+
+        nominal = SupervisedPolicy(inner=CapmanPolicy(capacity_mah=100.0))
+        pack2 = nominal.build_pack()
+        assert not isinstance(pack2.switch, FaultyBatterySwitch)
+        assert not isinstance(pack2.big, FaultyCell)

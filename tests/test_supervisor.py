@@ -1,0 +1,238 @@
+"""Tests for the supervision layer: sensor guards, degraded modes,
+detection of actuation failures, and recovery."""
+
+import math
+
+import pytest
+
+from repro.battery.switch import BatterySelection
+from repro.capman.controller import CapmanPolicy
+from repro.device.phone import DemandSlice
+from repro.faults import (
+    EventLog,
+    FaultEvent,
+    FaultSchedule,
+    FaultTrigger,
+    RecoveryEvent,
+    SensorGuard,
+    SupervisedPolicy,
+    Supervisor,
+    SupervisorConfig,
+    SwitchFault,
+    TecFault,
+    MODE_NORMAL,
+    MODE_SAFE,
+    MODE_SINGLE_BATTERY,
+    MODE_THERMAL_FALLBACK,
+)
+from repro.sim.discharge import run_discharge_cycle
+from repro.workload.generators import GeekbenchWorkload
+from repro.workload.traces import record_trace
+
+BIG = BatterySelection.BIG
+LITTLE = BatterySelection.LITTLE
+
+
+class TestSensorGuard:
+    def _guard(self):
+        return SensorGuard("t", -20.0, 130.0, 10.0, EventLog())
+
+    def test_plausible_passes_through(self):
+        g = self._guard()
+        assert g.clean(36.5, 0.0) == 36.5
+        assert g.rejected == 0
+
+    def test_nan_replaced_by_last_good(self):
+        g = self._guard()
+        g.clean(40.0, 0.0)
+        assert g.clean(float("nan"), 1.0) == 40.0
+        assert g.rejected == 1
+
+    def test_out_of_range_rejected(self):
+        g = self._guard()
+        g.clean(40.0, 0.0)
+        assert g.clean(500.0, 1.0) == 40.0
+        assert g.clean(-100.0, 2.0) == 40.0
+
+    def test_rate_limit_rejected(self):
+        g = self._guard()
+        g.clean(40.0, 0.0)
+        # +50 K in one second is beyond the 10 K/s credible slew.
+        assert g.clean(90.0, 1.0) == 40.0
+        # A gradual change passes.
+        assert g.clean(45.0, 2.0) == 45.0
+
+    def test_nan_before_any_good_value_clamps(self):
+        g = self._guard()
+        out = g.clean(float("nan"), 0.0)
+        assert math.isfinite(out)
+
+    def test_streak_logged_once(self):
+        log = EventLog()
+        g = SensorGuard("t", -20.0, 130.0, 10.0, log)
+        g.clean(40.0, 0.0)
+        for i in range(5):
+            g.clean(float("nan"), 1.0 + i)
+        assert log.fault_count == 1        # streak start only
+        g.clean(41.0, 10.0)
+        assert log.recovery_count == 1     # streak end
+
+
+class TestModes:
+    def _sup(self, **overrides):
+        cfg = SupervisorConfig(**overrides)
+        return Supervisor(cfg)
+
+    def test_starts_normal(self):
+        sup = self._sup()
+        assert sup.mode == MODE_NORMAL
+        assert not sup.switch_locked and not sup.tec_locked
+
+    def test_switch_misses_enter_single_battery(self):
+        sup = self._sup(switch_retry_limit=3)
+        for i in range(3):
+            sup.verify_switch(BIG, LITTLE, False, float(i))
+        assert sup.mode == MODE_SINGLE_BATTERY
+        assert sup.switch_locked
+        assert sup.mode_transitions == 1
+        kinds = [e.kind for e in sup.log.events if isinstance(e, FaultEvent)]
+        assert "mode-enter:single-battery" in kinds
+
+    def test_depleted_request_excused(self):
+        sup = self._sup(switch_retry_limit=2)
+        for i in range(10):
+            sup.verify_switch(BIG, LITTLE, True, float(i))
+        assert sup.mode == MODE_NORMAL
+
+    def test_committed_request_counts_as_honoured(self):
+        sup = self._sup(switch_retry_limit=2)
+        for i in range(10):
+            # Rail observed elsewhere, but the switch did commit the
+            # event (protective failover moved it afterwards).
+            sup.verify_switch(BIG, LITTLE, False, float(i), committed=True)
+        assert sup.mode == MODE_NORMAL
+
+    def test_match_resets_miss_streak(self):
+        sup = self._sup(switch_retry_limit=3)
+        sup.verify_switch(BIG, LITTLE, False, 0.0)
+        sup.verify_switch(BIG, LITTLE, False, 1.0)
+        sup.verify_switch(LITTLE, LITTLE, False, 2.0)  # honoured
+        sup.verify_switch(BIG, LITTLE, False, 3.0)
+        sup.verify_switch(BIG, LITTLE, False, 4.0)
+        assert sup.mode == MODE_NORMAL
+
+    def test_probe_recovery(self):
+        sup = self._sup(switch_retry_limit=2, switch_probe_interval_s=60.0)
+        sup.verify_switch(BIG, LITTLE, False, 0.0)
+        sup.verify_switch(BIG, LITTLE, False, 1.0)
+        assert sup.switch_locked
+        # Probe budget: one probe per interval.
+        assert sup.switch_probe_due(100.0)
+        assert not sup.switch_probe_due(110.0)
+        # The probe is honoured: mode recovers with a RecoveryEvent.
+        sup.verify_switch(LITTLE, LITTLE, False, 101.0)
+        assert sup.mode == MODE_NORMAL
+        assert any(isinstance(e, RecoveryEvent) and e.kind == "mode-exit:single-battery"
+                   for e in sup.log.events)
+
+    def test_tec_commanded_but_off_strikes_into_fallback(self):
+        sup = self._sup(tec_strike_limit=3)
+        for i in range(3):
+            sup.verify_tec(True, False, 46.0, float(i))
+        assert sup.mode == MODE_THERMAL_FALLBACK
+        assert sup.tec_locked
+
+    def test_tec_ineffective_cooling_strikes(self):
+        sup = self._sup(tec_strike_limit=2, tec_check_window_s=10.0,
+                        tec_temp_rise_margin_c=1.0)
+        # Commanded on, observed on, but the hot spot keeps climbing.
+        sup.verify_tec(True, True, 45.0, 0.0)
+        sup.verify_tec(True, True, 47.0, 11.0)   # strike 1
+        sup.verify_tec(True, True, 49.0, 22.0)   # strike 2
+        assert sup.mode == MODE_THERMAL_FALLBACK
+
+    def test_tec_recovery_after_good_streak(self):
+        sup = self._sup(tec_strike_limit=2)
+        sup.verify_tec(True, False, 46.0, 0.0)
+        sup.verify_tec(True, False, 46.0, 1.0)
+        assert sup.tec_locked
+        for i in range(2, 5):
+            sup.verify_tec(True, True, 40.0, float(i))
+        assert sup.mode == MODE_NORMAL
+
+    def test_safe_mode_when_both_locked(self):
+        sup = self._sup(switch_retry_limit=1, tec_strike_limit=1)
+        sup.verify_switch(BIG, LITTLE, False, 0.0)
+        sup.verify_tec(True, False, 46.0, 0.0)
+        assert sup.mode == MODE_SAFE
+        assert sup.mode_transitions == 2
+
+
+class TestThrottle:
+    def test_no_throttle_in_normal_mode(self):
+        sup = Supervisor()
+        d = DemandSlice(cpu_util=95.0, freq_index=3)
+        assert sup.throttle(d, 50.0) is d
+
+    def test_throttles_when_tec_locked_and_hot(self):
+        cfg = SupervisorConfig(tec_strike_limit=1, throttle_freq_index=0,
+                               throttle_cpu_util=60.0)
+        sup = Supervisor(cfg)
+        sup.verify_tec(True, False, 46.0, 0.0)
+        d = DemandSlice(cpu_util=95.0, freq_index=3)
+        out = sup.throttle(d, 46.0)
+        assert out.freq_index == 0
+        assert out.cpu_util == 60.0
+        # Other fields untouched.
+        assert out.screen_on == d.screen_on
+
+    def test_no_throttle_when_cool(self):
+        cfg = SupervisorConfig(tec_strike_limit=1)
+        sup = Supervisor(cfg)
+        sup.verify_tec(True, False, 46.0, 0.0)
+        d = DemandSlice(cpu_util=95.0, freq_index=3)
+        assert sup.throttle(d, 30.0) is d
+
+
+class TestSupervisedRuns:
+    """End-to-end: injected faults drive the expected degraded modes."""
+
+    @pytest.fixture(scope="class")
+    def hot_trace(self):
+        return record_trace(GeekbenchWorkload(seed=2), 600.0)
+
+    def test_stuck_switch_enters_single_battery(self, hot_trace):
+        sched = FaultSchedule(
+            faults=(SwitchFault(trigger=FaultTrigger(start_s=60.0),
+                                stuck=True),),
+            seed=1, name="switch-stuck")
+        policy = SupervisedPolicy(inner=CapmanPolicy(), schedule=sched)
+        res = run_discharge_cycle(policy, hot_trace, max_duration_s=1800.0)
+        assert res.final_mode == MODE_SINGLE_BATTERY
+        assert res.mode_transitions >= 1
+        assert any(e.kind == "mode-enter:single-battery"
+                   for e in res.fault_events if isinstance(e, FaultEvent))
+
+    def test_dead_tec_enters_thermal_fallback(self, hot_trace):
+        sched = FaultSchedule(
+            faults=(TecFault(trigger=FaultTrigger(start_s=60.0),
+                             stuck_off=True),),
+            seed=1, name="tec-dead")
+        policy = SupervisedPolicy(inner=CapmanPolicy(), schedule=sched)
+        res = run_discharge_cycle(policy, hot_trace, max_duration_s=1800.0)
+        assert res.final_mode == MODE_THERMAL_FALLBACK
+        assert any(e.kind == "mode-enter:thermal-fallback"
+                   for e in res.fault_events if isinstance(e, FaultEvent))
+
+    def test_unsupervised_wrapper_reports_normal(self, hot_trace):
+        sched = FaultSchedule(
+            faults=(TecFault(trigger=FaultTrigger(start_s=60.0),
+                             stuck_off=True),),
+            seed=1, name="tec-dead")
+        policy = SupervisedPolicy(inner=CapmanPolicy(), schedule=sched,
+                                  supervise=False)
+        res = run_discharge_cycle(policy, hot_trace, max_duration_s=900.0)
+        # Faults still injected (events logged) but no mode machinery.
+        assert res.final_mode == MODE_NORMAL
+        assert res.mode_transitions == 0
+        assert any(e.source == "tec" for e in res.fault_events)

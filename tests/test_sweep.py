@@ -2,6 +2,8 @@
 
 import os
 import pickle
+import signal
+import time
 
 import pytest
 
@@ -9,6 +11,8 @@ from repro.battery.aging import AgingModel
 from repro.capman.baselines import DualPolicy, PracticePolicy
 from repro.sim.daily import MultiDayResult
 from repro.sim.sweep import (
+    CellFailure,
+    CellTimeoutError,
     ScenarioRunner,
     SweepCache,
     SweepSpec,
@@ -16,6 +20,32 @@ from repro.sim.sweep import (
 )
 from repro.workload.generators import VideoWorkload
 from repro.workload.traces import record_trace
+
+
+class RaisingPolicy(DualPolicy):
+    """A policy whose cell deterministically raises inside the simulator."""
+
+    def build_pack(self):
+        raise RuntimeError("synthetic cell failure")
+
+
+class WorkerKillerPolicy(DualPolicy):
+    """A policy that kills its worker process outright (OOM-kill stand-in).
+
+    Only safe under process fan-out -- running it serially would kill
+    the test process itself.
+    """
+
+    def build_pack(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class SlowPolicy(DualPolicy):
+    """A policy that hangs long enough to blow a short per-cell timeout."""
+
+    def build_pack(self):
+        time.sleep(30.0)
+        return super().build_pack()
 
 
 @pytest.fixture(scope="module")
@@ -169,6 +199,101 @@ class TestLookup:
         out = ScenarioRunner(workers=1).run(_spec(trace))
         with pytest.raises(KeyError):
             out.get(trace="Video")  # two policies match
+
+
+class TestFailureContainment:
+    """One broken scenario must never abort (or poison) the grid."""
+
+    def _mixed_spec(self, trace, bad_policy, capacity=40.0):
+        return SweepSpec(
+            policies={
+                "Good": DualPolicy(capacity_mah=capacity),
+                "Bad": bad_policy,
+                "AlsoGood": PracticePolicy(capacity_mah=2 * capacity),
+            },
+            traces={"Video": trace},
+            max_duration_s=900.0,
+        )
+
+    def test_raising_cell_reported_not_raised(self, trace):
+        spec = self._mixed_spec(trace, RaisingPolicy(capacity_mah=40.0))
+        out = ScenarioRunner(workers=1).run(spec)
+        assert out.stats.cells_failed == 1
+        failures = out.failures
+        assert len(failures) == 1
+        cell, failure = failures[0]
+        assert cell.policy_key == "Bad"
+        assert failure.error_type == "RuntimeError"
+        assert "synthetic cell failure" in failure.message
+        assert "build_pack" in failure.traceback
+        assert str(failure).startswith(cell.label)
+        # The healthy cells produced real results.
+        assert len(out.succeeded) == 2
+        assert all(r.service_time_s > 0 for _, r in out.succeeded)
+
+    def test_raising_cell_matches_healthy_serial_results(self, trace):
+        spec = self._mixed_spec(trace, RaisingPolicy(capacity_mah=40.0))
+        healthy = SweepSpec(
+            policies={"Good": DualPolicy(capacity_mah=40.0)},
+            traces={"Video": trace}, max_duration_s=900.0)
+        mixed = ScenarioRunner(workers=1).run(spec)
+        alone = ScenarioRunner(workers=1).run(healthy)
+        assert (pickle.dumps(mixed.get(policy="Good"))
+                == pickle.dumps(alone.get(policy="Good")))
+
+    def test_raising_cell_parallel_identical_to_serial(self, trace):
+        spec = self._mixed_spec(trace, RaisingPolicy(capacity_mah=40.0))
+        serial = ScenarioRunner(workers=1).run(spec)
+        parallel = ScenarioRunner(workers=2).run(spec)
+        assert _cell_bytes(serial) == _cell_bytes(parallel)
+
+    def test_killed_worker_contained_and_healthy_cells_survive(self, trace):
+        spec = self._mixed_spec(trace, WorkerKillerPolicy(capacity_mah=40.0))
+        out = ScenarioRunner(workers=2, retries=1).run(spec)
+        assert out.stats.cells_failed == 1
+        [(cell, failure)] = out.failures
+        assert cell.policy_key == "Bad"
+        assert failure.attempts == 2       # initial try + 1 retry
+        assert out.stats.cell_retries >= 1
+        # Healthy cells completed with valid, byte-stable results.
+        healthy = SweepSpec(
+            policies={"Good": DualPolicy(capacity_mah=40.0),
+                      "AlsoGood": PracticePolicy(capacity_mah=80.0)},
+            traces={"Video": trace}, max_duration_s=900.0)
+        alone = ScenarioRunner(workers=1).run(healthy)
+        assert (pickle.dumps(out.get(policy="Good"))
+                == pickle.dumps(alone.get(policy="Good")))
+        assert (pickle.dumps(out.get(policy="AlsoGood"))
+                == pickle.dumps(alone.get(policy="AlsoGood")))
+
+    def test_cell_timeout_reported(self, trace):
+        spec = self._mixed_spec(trace, SlowPolicy(capacity_mah=40.0))
+        out = ScenarioRunner(workers=1, cell_timeout_s=1.0).run(spec)
+        [(cell, failure)] = out.failures
+        assert cell.policy_key == "Bad"
+        assert failure.error_type == "CellTimeoutError"
+        assert len(out.succeeded) == 2
+
+    def test_failures_never_cached(self, trace, tmp_path):
+        spec = self._mixed_spec(trace, RaisingPolicy(capacity_mah=40.0))
+        first = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        assert first.stats.cells_failed == 1
+        second = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
+        # Healthy cells hit; the failed cell is recomputed every run.
+        assert second.stats.cache_hits == 2
+        assert second.stats.cache_misses == 1
+        assert second.stats.cells_failed == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioRunner(retries=-1)
+
+    def test_failure_str_and_outcome_split(self, trace):
+        spec = self._mixed_spec(trace, RaisingPolicy(capacity_mah=40.0))
+        out = ScenarioRunner(workers=1).run(spec)
+        bad = out.get(policy="Bad")
+        assert isinstance(bad, CellFailure)
+        assert "RuntimeError" in str(bad)
 
 
 class TestDailyKind:

@@ -60,6 +60,69 @@ class TestSwitch:
             BatterySwitch(switch_energy_j=-0.1)
 
 
+class TestRapidOscillation:
+    """Noisy chatter against the debounce: the dwell guard must hold and
+    the cost accounting must stay exactly per-committed-event."""
+
+    def _flood(self, sw, period_s, n):
+        """Alternate targets every ``period_s`` seconds, ``n`` times."""
+        committed = 0
+        for i in range(n):
+            target = (BatterySelection.LITTLE if i % 2 == 0
+                      else BatterySelection.BIG)
+            if sw.request(target, i * period_s):
+                committed += 1
+        return committed
+
+    def test_min_dwell_spaces_committed_events(self):
+        sw = BatterySwitch(min_dwell_s=5.0)
+        self._flood(sw, period_s=0.5, n=200)
+        times = [e.time_s for e in sw.events]
+        assert times, "some switches must commit"
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= 5.0 for gap in gaps)
+
+    def test_chatter_is_bounded_by_dwell(self):
+        sw = BatterySwitch(min_dwell_s=5.0)
+        self._flood(sw, period_s=0.5, n=200)
+        # 100 s of chatter with a 5 s dwell: at most ~21 commits.
+        assert sw.switch_count <= (200 * 0.5) / 5.0 + 1
+
+    def test_energy_tracks_switch_count_exactly(self):
+        sw = BatterySwitch(min_dwell_s=2.0, switch_energy_j=0.1,
+                           switch_heat_j=0.08)
+        self._flood(sw, period_s=0.7, n=500)
+        assert sw.energy_spent_j == pytest.approx(0.1 * sw.switch_count)
+        assert sw.switch_count == len(sw.events)
+
+    def test_rejected_requests_cost_nothing(self):
+        sw = BatterySwitch(min_dwell_s=1e9, switch_energy_j=0.1)
+        assert sw.request(BatterySelection.LITTLE, 0.0)
+        energy_after_first = sw.energy_spent_j
+        for i in range(100):
+            assert not sw.request(
+                BatterySelection.BIG if i % 2 == 0 else BatterySelection.LITTLE,
+                1.0 + i)
+        assert sw.energy_spent_j == energy_after_first
+        assert sw.switch_count == 1
+
+    def test_take_energy_consistent_under_chatter(self):
+        sw = BatterySwitch(min_dwell_s=2.0, switch_energy_j=0.1)
+        drained = 0.0
+        for i in range(300):
+            target = (BatterySelection.LITTLE if i % 2 == 0
+                      else BatterySelection.BIG)
+            sw.request(target, i * 0.5)
+            drained += sw.take_energy_j()
+        assert drained == pytest.approx(sw.energy_spent_j)
+        assert sw.take_energy_j() == 0.0
+
+    def test_zero_dwell_commits_every_alternation(self):
+        sw = BatterySwitch(min_dwell_s=0.0)
+        committed = self._flood(sw, period_s=0.5, n=50)
+        assert committed == 50 == sw.switch_count
+
+
 class TestTtlSignal:
     def test_flat_signal_without_events(self):
         points = ttl_signal((), t_end=10.0)
