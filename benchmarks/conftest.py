@@ -77,11 +77,25 @@ def evaluation_policies() -> Dict[str, object]:
     }
 
 
-def sweep_runner() -> ScenarioRunner:
-    """The shared evaluation runner, configured from the environment."""
+def sweep_runner(journal=None, checkpoint_every_steps=None) -> ScenarioRunner:
+    """The shared evaluation runner, configured from the environment.
+
+    ``CAPMAN_SWEEP_JOURNAL`` (a journal path) and
+    ``CAPMAN_SWEEP_CKPT_STEPS`` (an in-cell sidecar cadence) opt long
+    grids into crash-durable, resumable execution; callers may also
+    pass both explicitly.  Journalled callers should drive the runner
+    through :meth:`ScenarioRunner.run_or_resume` so a re-invoked job
+    picks up its own journal instead of refusing it.
+    """
     workers = int(os.environ.get("CAPMAN_SWEEP_WORKERS", "1"))
     cache_dir = os.environ.get("CAPMAN_SWEEP_CACHE") or None
-    return ScenarioRunner(workers=workers, cache=cache_dir)
+    if journal is None:
+        journal = os.environ.get("CAPMAN_SWEEP_JOURNAL") or None
+    if checkpoint_every_steps is None:
+        checkpoint_every_steps = int(
+            os.environ.get("CAPMAN_SWEEP_CKPT_STEPS", "0"))
+    return ScenarioRunner(workers=workers, cache=cache_dir, journal=journal,
+                          checkpoint_every_steps=checkpoint_every_steps)
 
 
 def run_sweep(
@@ -99,7 +113,7 @@ def run_sweep(
         control_dts=(control_dt,),
         max_duration_s=max_duration_s,
     )
-    return sweep_runner().run(spec)
+    return sweep_runner().run_or_resume(spec)
 
 
 def run_cycle(

@@ -9,7 +9,18 @@ must not come at a premium in pack health.
 
 (Uses a scaled pack so a day is minutes of wall time; the wear model
 is capacity-relative, so the comparison carries.)
+
+This is the longest grid in the benchmark tree, so it opts into the
+durability layer: the sweep is journalled with periodic in-cell
+checkpoints, and a re-run after a crash resumes from the journal
+instead of recomputing finished days.  Set
+``CAPMAN_DAILY_WEAR_JOURNAL`` to pin the journal somewhere durable
+across invocations (default: a fresh temp directory per run).
 """
+
+import os
+import tempfile
+from pathlib import Path
 
 from repro.analysis.reporting import format_table
 from repro.battery.aging import AgingModel
@@ -40,7 +51,10 @@ def _run_both():
         extra={"n_days": N_DAYS,
                "aging": AgingModel(rate_stress_weight=2.0)},
     )
-    sweep = sweep_runner().run(spec)
+    journal = os.environ.get("CAPMAN_DAILY_WEAR_JOURNAL") or str(
+        Path(tempfile.mkdtemp(prefix="daily-wear-")) / "daily_wear.journal")
+    runner = sweep_runner(journal=journal, checkpoint_every_steps=2000)
+    sweep = runner.run_or_resume(spec)
     return sweep.get(policy="CAPMAN"), sweep.get(policy="Dual")
 
 

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
+from ..durability.state import pack_state, unpack_state
 from .cell import Cell
 from .chemistry import Chemistry
 
@@ -57,6 +58,21 @@ class CellHealth:
     def fresh_cell(self) -> Cell:
         """A new cell at the current (aged) capacity."""
         return Cell(self.chemistry, self.capacity_mah)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable aging state (the equivalent-cycle counter)."""
+        return pack_state(self, self._STATE_VERSION,
+                          {"equivalent_cycles": self.equivalent_cycles})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.equivalent_cycles = payload["equivalent_cycles"]
 
 
 @dataclass

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..durability.state import pack_state, unpack_state
 from .chemistry import Chemistry
 
 __all__ = ["Cell", "DrawResult", "CellEmptyError"]
@@ -359,3 +360,31 @@ class Cell:
         other._throughput = self._throughput
         other.soc = self.soc
         return other
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """All mutable runtime state (KiBaM wells, transient, wear)."""
+        return pack_state(self, self._STATE_VERSION, {
+            "available": self._available,
+            "bound": self._bound,
+            "v_transient": self._v_transient,
+            "throughput": self._throughput,
+            "soc": self.soc,
+            "temperature_c": self.temperature_c,
+            "capacity_mah": self.capacity_mah,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._available = payload["available"]
+        self._bound = payload["bound"]
+        self._v_transient = payload["v_transient"]
+        self._throughput = payload["throughput"]
+        self.soc = payload["soc"]
+        self.temperature_c = payload["temperature_c"]
+        self.capacity_mah = payload["capacity_mah"]

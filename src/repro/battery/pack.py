@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..durability.state import pack_state, unpack_state
 from .cell import Cell, DrawResult
 from .chemistry import Chemistry, pick_big_little
 from .supercap import Supercapacitor
@@ -221,6 +222,30 @@ class BigLittlePack(BatteryPack):
             served_by=served_by,
         )
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Composite state of both cells, the switch, and the supercap."""
+        return pack_state(self, self._STATE_VERSION, {
+            "big": self.big.state_dict(),
+            "little": self.little.state_dict(),
+            "switch": self.switch.state_dict(),
+            "supercap": (self.supercap.state_dict()
+                         if self.supercap is not None else None),
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore in place, mutating the existing child objects."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.big.load_state_dict(payload["big"])
+        self.little.load_state_dict(payload["little"])
+        self.switch.load_state_dict(payload["switch"])
+        if self.supercap is not None and payload["supercap"] is not None:
+            self.supercap.load_state_dict(payload["supercap"])
+
 
 @dataclass
 class SingleBatteryPack(BatteryPack):
@@ -253,3 +278,18 @@ class SingleBatteryPack(BatteryPack):
             shortfall=result.shortfall and self.cell.depleted,
             served_by=None,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Composite state delegating to the single cell."""
+        return pack_state(self, self._STATE_VERSION,
+                          {"cell": self.cell.state_dict()})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore in place, mutating the existing cell."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.cell.load_state_dict(payload["cell"])

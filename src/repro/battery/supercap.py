@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["Supercapacitor"]
 
 
@@ -98,6 +100,20 @@ class Supercapacitor:
                 battery_w = demand_w + add_j / dt
         return SmoothedDraw(battery_power_w=battery_w, capacitor_energy_j=from_cap_j,
                             heat_j=heat_j)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state (the stored voltage)."""
+        return pack_state(self, self._STATE_VERSION, {"voltage": self._voltage})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._voltage = payload["voltage"]
 
     # ------------------------------------------------------------------
     def _min_energy_j(self) -> float:

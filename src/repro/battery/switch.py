@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["BatterySelection", "SwitchEvent", "BatterySwitch", "ttl_signal"]
 
 
@@ -136,6 +138,36 @@ class BatterySwitch:
         unbilled = self._energy_spent_j - self._pending_energy_j
         self._pending_energy_j = self._energy_spent_j
         return unbilled
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state, including fault-mutated switch cost."""
+        return pack_state(self, self._STATE_VERSION, {
+            "active": self._active.value,
+            "last_switch_time": self._last_switch_time,
+            "events": [(ev.time_s, ev.target.value) for ev in self._events],
+            "energy_spent_j": self._energy_spent_j,
+            "heat_emitted_j": self._heat_emitted_j,
+            "pending_energy_j": self._pending_energy_j,
+            # Contact-growth faults mutate the per-switch cost in place.
+            "switch_energy_j": self.switch_energy_j,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._active = BatterySelection(payload["active"])
+        self._last_switch_time = payload["last_switch_time"]
+        self._events = [SwitchEvent(t, BatterySelection(v))
+                        for t, v in payload["events"]]
+        self._energy_spent_j = payload["energy_spent_j"]
+        self._heat_emitted_j = payload["heat_emitted_j"]
+        self._pending_energy_j = payload["pending_energy_j"]
+        self.switch_energy_j = payload["switch_energy_j"]
 
 
 def ttl_signal(

@@ -18,10 +18,12 @@ battery switching (micro/millisecond granularity).  CAPMAN instead:
 from __future__ import annotations
 
 import math
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..durability.state import pack_state, unpack_state
 from .graph import MDPGraph
 from .mdp import MDP, Action, State
 from .similarity import SimilarityResult, StructuralSimilarity
@@ -237,6 +239,41 @@ class OnlineScheduler:
         """
         sweeps = math.log(1.0 / self.precision) / max(1.0 - self.rho, 1e-6)
         return max(1, int(math.ceil(sweeps / self.compute_speed)))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """All mutable solver state, isolated from later mutation.
+
+        The solution values (mutated by refinement sweeps), the
+        similarity index, staleness set, decision log/stats and the
+        decision memo are deep-copied via pickle so the checkpoint is a
+        true snapshot, not a live alias.  Static configuration (mdp,
+        rho, precision, ...) is identity, not state.
+        """
+        blob = pickle.dumps({
+            "solution": self.solution,
+            "similarity": self.similarity,
+            "stale": self._stale,
+            "decisions": self.decisions,
+            "stats": self.stats,
+            "decision_cache": self._decision_cache,
+        }, protocol=4)
+        return pack_state(self, self._STATE_VERSION, {"pickle": blob})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        data = pickle.loads(payload["pickle"])
+        self.solution = data["solution"]
+        self.similarity = data["similarity"]
+        self._stale = data["stale"]
+        self.decisions = data["decisions"]
+        self.stats = data["stats"]
+        self._decision_cache = data["decision_cache"]
 
     # ------------------------------------------------------------------
     def _greedy(self, state: State) -> Optional[Action]:

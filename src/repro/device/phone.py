@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 
 from ..battery.pack import BatteryPack, BigLittlePack, PackDraw
 from ..battery.switch import BatterySelection
+from ..durability.state import pack_state, unpack_state
 from ..thermal.rc_network import ThermalNetwork, phone_thermal_network
 from ..thermal.tec import TECUnit
 from .profiles import NEXUS, PhoneProfile
@@ -255,3 +256,33 @@ class Phone:
             battery_temp_c=self.thermal.temperature("battery"),
             device_state=state,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Composite plant state: clock, pack, thermal network, TEC.
+
+        The power-model memo (``_power_cache``) is a pure function of
+        the immutable profile and is deliberately excluded.
+        """
+        return pack_state(self, self._STATE_VERSION, {
+            "clock_s": self.clock_s,
+            # DeviceState is a frozen dataclass of enums: picklable and
+            # value-comparable, so storing the object is safe.
+            "last_state": self._last_state,
+            "pack": self.pack.state_dict(),
+            "thermal": self.thermal.state_dict(),
+            "tec": self.tec.state_dict(),
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore in place, mutating the existing plant components."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.clock_s = payload["clock_s"]
+        self._last_state = payload["last_state"]
+        self.pack.load_state_dict(payload["pack"])
+        self.thermal.load_state_dict(payload["thermal"])
+        self.tec.load_state_dict(payload["tec"])

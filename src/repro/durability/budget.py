@@ -1,0 +1,180 @@
+"""Run budgets and the heartbeat stall watchdog.
+
+A :class:`RunBudget` gives a run explicit wall-clock and control-step
+ceilings.  The harness polls it at the top of each step — a point
+where the simulation state is consistent — so blowing the budget
+triggers a *clean checkpoint-then-exit* (:class:`BudgetExceededError`
+carrying the final checkpoint) instead of a timeout kill that discards
+the work.
+
+The :class:`HeartbeatWatchdog` covers the complementary failure: a
+cell that stops making progress entirely (deadlocked dependency,
+pathological substep count).  The loop beats a :class:`Heartbeat`
+every step; a daemon thread watches the beat age, and on a stall it
+flushes the cell's last checkpoint to disk and force-expires the
+cell's cooperative deadline so the cell retires as a contained timeout
+failure the moment it runs again — with its checkpoint already safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .deadline import expire_deadline
+
+if TYPE_CHECKING:
+    from .snapshot import SimCheckpoint
+
+__all__ = ["BudgetExceededError", "RunBudget", "Heartbeat", "HeartbeatWatchdog"]
+
+
+class BudgetExceededError(RuntimeError):
+    """A run hit its wall-clock or step budget.
+
+    ``checkpoint`` carries the clean final state when the harness was
+    able to snapshot before exiting; resume from it to continue.
+    """
+
+    def __init__(self, message: str,
+                 checkpoint: Optional["SimCheckpoint"] = None) -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
+class RunBudget:
+    """Wall-clock and step ceilings for one run.
+
+    Either limit may be ``None`` (unlimited).  The wall clock starts
+    at construction; :meth:`restart` re-arms it (a resumed run gets a
+    fresh wall budget — the spent wall time died with the old process,
+    while ``max_steps`` counts *total* simulation steps and therefore
+    carries across restores via the step index).
+    """
+
+    def __init__(self, max_wall_s: Optional[float] = None,
+                 max_steps: Optional[int] = None) -> None:
+        if max_wall_s is not None and max_wall_s <= 0:
+            raise ValueError("max_wall_s must be positive")
+        if max_steps is not None and max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.max_wall_s = max_wall_s
+        self.max_steps = max_steps
+        self._started = time.monotonic()
+
+    def restart(self) -> None:
+        """Re-arm the wall clock (call when resuming)."""
+        self._started = time.monotonic()
+
+    @property
+    def elapsed_wall_s(self) -> float:
+        """Wall seconds since construction / the last restart."""
+        return time.monotonic() - self._started
+
+    def exceeded(self, step_index: int) -> Optional[str]:
+        """The reason the budget is blown, or ``None`` while inside it."""
+        if self.max_steps is not None and step_index >= self.max_steps:
+            return f"step budget of {self.max_steps} steps reached"
+        if self.max_wall_s is not None:
+            elapsed = time.monotonic() - self._started
+            if elapsed >= self.max_wall_s:
+                return (f"wall-clock budget of {self.max_wall_s} s reached "
+                        f"({elapsed:.1f} s elapsed)")
+        return None
+
+
+class Heartbeat:
+    """A progress beacon the run loop touches every step."""
+
+    def __init__(self) -> None:
+        self._last = time.monotonic()
+        self._lock = threading.Lock()
+
+    def beat(self) -> None:
+        """Record progress (called from the run loop)."""
+        with self._lock:
+            self._last = time.monotonic()
+
+    @property
+    def age_s(self) -> float:
+        """Seconds since the last beat."""
+        with self._lock:
+            return time.monotonic() - self._last
+
+
+class HeartbeatWatchdog:
+    """Daemon thread that fires ``on_stall`` when the heartbeat goes quiet.
+
+    Parameters
+    ----------
+    heartbeat:
+        The :class:`Heartbeat` the supervised loop beats.
+    stall_timeout_s:
+        Beat age that counts as a stall.
+    on_stall:
+        Callback invoked (once per stall episode) from the watchdog
+        thread.  The stock wiring flushes the run's latest checkpoint
+        and force-expires the run thread's cooperative deadline.
+    poll_s:
+        Check cadence; defaults to a quarter of the stall timeout.
+    """
+
+    def __init__(self, heartbeat: Heartbeat, stall_timeout_s: float,
+                 on_stall: Callable[[], None],
+                 poll_s: Optional[float] = None) -> None:
+        if stall_timeout_s <= 0:
+            raise ValueError("stall_timeout_s must be positive")
+        self.heartbeat = heartbeat
+        self.stall_timeout_s = stall_timeout_s
+        self.on_stall = on_stall
+        self.poll_s = poll_s if poll_s is not None else max(0.05, stall_timeout_s / 4.0)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Stall episodes observed.
+        self.stalls = 0
+
+    def start(self) -> "HeartbeatWatchdog":
+        self._thread = threading.Thread(target=self._watch, daemon=True,
+                                        name="capman-watchdog")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.poll_s * 4 + 1.0)
+            self._thread = None
+
+    def __enter__(self) -> "HeartbeatWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _watch(self) -> None:
+        fired = False
+        while not self._stop.wait(self.poll_s):
+            if self.heartbeat.age_s >= self.stall_timeout_s:
+                if not fired:
+                    fired = True
+                    self.stalls += 1
+                    try:
+                        self.on_stall()
+                    except Exception:
+                        pass  # a watchdog must never take the run down
+            else:
+                fired = False
+
+
+def retire_on_stall(checkpointer, thread_ident: int,
+                    label: str = "run") -> Callable[[], None]:
+    """The stock ``on_stall`` wiring: flush checkpoint, expire deadline."""
+    def _on_stall() -> None:
+        if checkpointer is not None:
+            checkpointer.flush()
+        expire_deadline(
+            thread_ident,
+            f"{label} stalled (no heartbeat); retired by watchdog after "
+            f"checkpointing")
+    return _on_stall

@@ -1,0 +1,78 @@
+"""The versioned ``state_dict`` / ``load_state_dict`` discipline.
+
+Every stateful component of the simulator exposes a ``state_dict()``
+returning a plain dict of its mutable runtime state, and a
+``load_state_dict(state)`` that restores it *in place* -- child
+objects are mutated, never replaced, so live references (a phone's
+pack, a supervisor's shared event log) stay valid across a restore.
+
+Each state dict is tagged with the emitting class and a per-class
+schema version via :func:`pack_state`; :func:`unpack_state` validates
+both on the way back in.  A class bumps its version when the meaning
+of its payload changes, so a checkpoint written by old code fails
+loudly instead of restoring garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "StateError",
+    "StateVersionError",
+    "StateMismatchError",
+    "pack_state",
+    "unpack_state",
+    "class_tag",
+]
+
+#: Reserved keys of a packed state dict.
+CLASS_KEY = "__class__"
+VERSION_KEY = "__version__"
+
+
+class StateError(RuntimeError):
+    """Base class for state-restore failures."""
+
+
+class StateVersionError(StateError):
+    """A state dict's schema version does not match the loading code."""
+
+
+class StateMismatchError(StateError):
+    """A state dict was offered to an object of the wrong shape."""
+
+
+def class_tag(obj: Any) -> str:
+    """The fully qualified class name used to tag state dicts."""
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def pack_state(obj: Any, version: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Tag ``payload`` with the emitting class and schema version."""
+    state = {CLASS_KEY: class_tag(obj), VERSION_KEY: version}
+    state.update(payload)
+    return state
+
+
+def unpack_state(obj: Any, state: Dict[str, Any], version: int) -> Dict[str, Any]:
+    """Validate a packed state dict against ``obj`` and ``version``.
+
+    Returns the payload (the dict minus the tag keys).  Raises
+    :class:`StateMismatchError` when the state was written by a
+    different class and :class:`StateVersionError` on a version skew.
+    """
+    if not isinstance(state, dict) or CLASS_KEY not in state:
+        raise StateMismatchError(
+            f"not a packed state dict for {class_tag(obj)}: {type(state).__name__}")
+    written_by = state[CLASS_KEY]
+    expected = class_tag(obj)
+    if written_by != expected:
+        raise StateMismatchError(
+            f"state written by {written_by} offered to {expected}")
+    written_version = state.get(VERSION_KEY)
+    if written_version != version:
+        raise StateVersionError(
+            f"{expected} expects state version {version}, got {written_version}")
+    return {k: v for k, v in state.items() if k not in (CLASS_KEY, VERSION_KEY)}

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple, Union
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["FaultEvent", "RecoveryEvent", "EventLog"]
 
 
@@ -88,3 +90,19 @@ class EventLog:
 
     def __iter__(self):
         return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """The recorded events (frozen, so a shallow copy suffices)."""
+        return pack_state(self, self._STATE_VERSION,
+                          {"events": list(self._events)})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore in place — the list object is shared with injectors
+        and the supervisor, so it is mutated, never reassigned."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._events[:] = payload["events"]

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from ..battery.cell import Cell
 from ..battery.switch import BatterySelection, BatterySwitch
+from ..durability.state import pack_state, unpack_state
 from ..thermal.tec import TECUnit
 from .schedule import CellFault, FaultRuntime, SensorFault, SwitchFault, TecFault
 
@@ -66,6 +67,15 @@ class FaultyBatterySwitch(BatterySwitch):
         if committed and growth:
             self.switch_energy_j += growth
         return committed
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["dropped_requests"] = self.dropped_requests
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.dropped_requests = state["dropped_requests"]
 
 
 @dataclass
@@ -120,6 +130,15 @@ class FaultyTEC(TECUnit):
             self.cold_node: -pumped,
             self.hot_node: pumped + self.drive_power_w,
         }
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["commanded"] = self._commanded
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._commanded = state["commanded"]
 
 
 @dataclass
@@ -181,6 +200,21 @@ class SensorTap:
                 value += rt.rng.gauss(0.0, spec.noise_std)
         self._held = value
         return value
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """The last-value-hold register (RNG state lives with the
+        fault runtimes, which are checkpointed by the schedule)."""
+        return pack_state(self, self._STATE_VERSION, {"held": self._held})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._held = payload["held"]
 
 
 def tap_map(runtime, channels=("cpu_temp", "surface_temp", "soc_big", "soc_little")) -> Dict[str, SensorTap]:

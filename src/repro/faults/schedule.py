@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
+from ..durability.state import StateMismatchError, pack_state, unpack_state
 from .events import EventLog
 
 __all__ = [
@@ -283,6 +284,26 @@ class FaultRuntime:
             self._was_active = is_active
         return is_active
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Latch, activity edge, and the private RNG stream state."""
+        return pack_state(self, self._STATE_VERSION, {
+            "latched": self._latched,
+            "was_active": self._was_active,
+            "rng_state": self.rng.getstate(),
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._latched = payload["latched"]
+        self._was_active = payload["was_active"]
+        self.rng.setstate(payload["rng_state"])
+
 
 class ScheduleRuntime:
     """Per-cycle state for a whole schedule: bus, log, fault runtimes."""
@@ -318,3 +339,31 @@ class ScheduleRuntime:
         """Cell-fault runtimes for the big or little cell."""
         return [rt for rt in self.runtimes
                 if isinstance(rt.spec, CellFault) and rt.spec.cell == which]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Bus snapshot, shared event log, and every fault runtime."""
+        return pack_state(self, self._STATE_VERSION, {
+            "bus": (self.bus.time_s, self.bus.cpu_temp_c,
+                    self.bus.soc_big, self.bus.soc_little),
+            "log": self.log.state_dict(),
+            "runtimes": [rt.state_dict() for rt in self.runtimes],
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore in place; bus and log objects keep their identity
+        (injectors and the supervisor hold references to them)."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        if len(payload["runtimes"]) != len(self.runtimes):
+            raise StateMismatchError(
+                f"checkpoint has {len(payload['runtimes'])} fault runtimes, "
+                f"schedule has {len(self.runtimes)}")
+        (self.bus.time_s, self.bus.cpu_temp_c,
+         self.bus.soc_big, self.bus.soc_little) = payload["bus"]
+        self.log.load_state_dict(payload["log"])
+        for rt, rt_state in zip(self.runtimes, payload["runtimes"]):
+            rt.load_state_dict(rt_state)

@@ -40,6 +40,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..battery.pack import BatteryPack, BigLittlePack
 from ..battery.switch import BatterySelection
 from ..device.phone import DemandSlice, Phone
+from ..durability.state import pack_state, unpack_state
 from ..sim.discharge import PolicyContext, SchedulingPolicy
 from ..workload.traces import Trace
 from .events import EventLog
@@ -151,6 +152,28 @@ class SensorGuard:
         if math.isfinite(value):
             return min(max(value, self.lo), self.hi)
         return self.lo
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Last-good register, bad-streak flag and rejection counter."""
+        return pack_state(self, self._STATE_VERSION, {
+            "last_good": self._last_good,
+            "last_time": self._last_time,
+            "bad": self._bad,
+            "rejected": self.rejected,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._last_good = payload["last_good"]
+        self._last_time = payload["last_time"]
+        self._bad = payload["bad"]
+        self.rejected = payload["rejected"]
 
 
 class Supervisor:
@@ -345,6 +368,48 @@ class Supervisor:
         """The shared event log's snapshot."""
         return self.log.events
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """The full mode machine plus every sensor guard.
+
+        The event log is shared with the fault runtime and checkpointed
+        there, so it is deliberately absent here.
+        """
+        return pack_state(self, self._STATE_VERSION, {
+            "switch_ok": self._switch_ok,
+            "tec_ok": self._tec_ok,
+            "switch_misses": self._switch_misses,
+            "last_probe_s": self._last_probe_s,
+            "tec_strikes": self._tec_strikes,
+            "tec_good_streak": self._tec_good_streak,
+            "tec_on_since": self._tec_on_since,
+            "tec_temp_at_on": self._tec_temp_at_on,
+            "mode_transitions": self.mode_transitions,
+            "guards": {name: g.state_dict()
+                       for name, g in self.guards.items()},
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._switch_ok = payload["switch_ok"]
+        self._tec_ok = payload["tec_ok"]
+        self._switch_misses = payload["switch_misses"]
+        self._last_probe_s = payload["last_probe_s"]
+        self._tec_strikes = payload["tec_strikes"]
+        self._tec_good_streak = payload["tec_good_streak"]
+        self._tec_on_since = payload["tec_on_since"]
+        self._tec_temp_at_on = payload["tec_temp_at_on"]
+        self.mode_transitions = payload["mode_transitions"]
+        for name, guard_state in payload["guards"].items():
+            guard = self.guards.get(name)
+            if guard is not None:
+                guard.load_state_dict(guard_state)
+
 
 # ----------------------------------------------------------------------
 # Policy wrapper: faults + supervision through the unchanged harness
@@ -532,3 +597,48 @@ class SupervisedPolicy(SchedulingPolicy):
     def supervisor(self) -> Optional[Supervisor]:
         """The live supervisor (None before a cycle starts)."""
         return self._supervisor
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Hand-picked payload: the base pickle-``__dict__`` default
+        would drag live plant references (phone, pack) into the blob.
+
+        Restoring assumes the harness has already run ``build_pack`` /
+        ``on_cycle_start`` for this cycle, recreating the fault wiring
+        the deterministic schedule implies; the load then overwrites
+        the fresh runtime/supervisor/tap state in place.
+        """
+        pending = None
+        if self._pending_cmd is not None:
+            target, count = self._pending_cmd
+            pending = (target.value, count)
+        return pack_state(self, self._STATE_VERSION, {
+            "inner": self.inner.state_dict(),
+            "runtime": (self._runtime.state_dict()
+                        if self._runtime is not None else None),
+            "supervisor": (self._supervisor.state_dict()
+                           if self._supervisor is not None else None),
+            "taps": {ch: tap.state_dict()
+                     for ch, tap in (self._taps or {}).items()},
+            "pending_cmd": pending,
+            "last_clean_cpu": self._last_clean_cpu,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.inner.load_state_dict(payload["inner"])
+        if payload["runtime"] is not None and self._runtime is not None:
+            self._runtime.load_state_dict(payload["runtime"])
+        if payload["supervisor"] is not None and self._supervisor is not None:
+            self._supervisor.load_state_dict(payload["supervisor"])
+        if self._taps:
+            for ch, tap_state in payload["taps"].items():
+                tap = self._taps.get(ch)
+                if tap is not None:
+                    tap.load_state_dict(tap_state)
+        pending = payload["pending_cmd"]
+        self._pending_cmd = (None if pending is None
+                             else (BatterySelection(pending[0]), pending[1]))
+        self._last_clean_cpu = payload["last_clean_cpu"]

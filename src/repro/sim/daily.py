@@ -10,6 +10,7 @@ pattern wear the pack differently?".
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -18,8 +19,16 @@ from ..battery.cell import Cell
 from ..battery.charging import CCCVCharger
 from ..battery.pack import BigLittlePack, SingleBatteryPack
 from ..device.profiles import NEXUS, PhoneProfile
+from ..durability.budget import BudgetExceededError, RunBudget
+from ..durability.snapshot import Checkpointer, SimCheckpoint
+from ..durability.state import StateMismatchError
 from ..workload.traces import Trace
-from .discharge import DischargeResult, SchedulingPolicy, run_discharge_cycle
+from .discharge import (
+    DischargeResult,
+    SchedulingPolicy,
+    run_discharge_cycle,
+    trace_fingerprint,
+)
 
 __all__ = ["DayRecord", "MultiDayResult", "run_days"]
 
@@ -111,6 +120,18 @@ class _AgedProxy(SchedulingPolicy):
         return self._inner.decide_battery(ctx)
 
 
+def _daily_fingerprint(policy, trace, n_days, profile, control_dt,
+                       max_cycle_s) -> str:
+    """Fingerprint of everything a daily resume must match."""
+    data = (
+        type(policy).__qualname__, policy.name,
+        trace.name, trace_fingerprint(trace),
+        n_days, getattr(profile, "name", repr(profile)),
+        control_dt, max_cycle_s,
+    )
+    return hashlib.sha256(repr(data).encode()).hexdigest()[:16]
+
+
 def run_days(
     policy: SchedulingPolicy,
     trace: Trace,
@@ -120,6 +141,9 @@ def run_days(
     max_cycle_s: float = 60.0 * 3600.0,
     charger: Optional[CCCVCharger] = None,
     aging: Optional[AgingModel] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume_from: Optional[SimCheckpoint] = None,
+    budget: Optional[RunBudget] = None,
 ) -> MultiDayResult:
     """Simulate ``n_days`` of discharge / charge / wear.
 
@@ -127,6 +151,14 @@ def run_days(
     the accumulated fade; the day's per-cell throughput and the
     battery-bay temperature feed the aging model; the overnight charge
     time is recorded from the CC-CV model.
+
+    Durability: a ``checkpointer`` saves a day-boundary checkpoint
+    after every completed day (``every_steps`` is interpreted in days;
+    0 still saves every day — day boundaries are already coarse).
+    ``resume_from`` skips the completed days and continues; ``budget``
+    is polled at each day boundary and raises
+    :class:`BudgetExceededError` carrying a clean checkpoint
+    (``max_steps`` counts simulator control steps across all days).
     """
     if n_days < 1:
         raise ValueError("need at least one day")
@@ -136,7 +168,56 @@ def run_days(
     proxy = _AgedProxy(policy, healths)
 
     result = MultiDayResult(policy_name=policy.name, workload_name=trace.name)
-    for day in range(1, n_days + 1):
+
+    durable = checkpointer is not None or resume_from is not None or budget is not None
+    fingerprint = ""
+    if durable:
+        fingerprint = _daily_fingerprint(policy, trace, n_days, profile,
+                                         control_dt, max_cycle_s)
+
+    def _make_checkpoint(next_day: int) -> SimCheckpoint:
+        return SimCheckpoint.create("daily", {
+            "fingerprint": fingerprint,
+            "next_day": next_day,
+            "healths": [h.state_dict() for h in healths],
+            "days": list(result.days),
+            "step_count": result.step_count,
+            "wall_time_s": result.wall_time_s,
+        })
+
+    start_day = 1
+    if resume_from is not None:
+        resume_from.verify()
+        if resume_from.kind != "daily":
+            raise StateMismatchError(
+                f"checkpoint kind {resume_from.kind!r} is not a daily "
+                f"checkpoint")
+        saved = resume_from.payload
+        if saved["fingerprint"] != fingerprint:
+            raise StateMismatchError(
+                "daily checkpoint was taken under a different run "
+                f"configuration ({saved['fingerprint']} vs {fingerprint})")
+        if len(saved["healths"]) != len(healths):
+            raise StateMismatchError(
+                f"checkpoint tracks {len(saved['healths'])} cells, pack "
+                f"has {len(healths)}")
+        for health, h_state in zip(healths, saved["healths"]):
+            health.load_state_dict(h_state)
+        result.days = list(saved["days"])
+        result.step_count = saved["step_count"]
+        result.wall_time_s = saved["wall_time_s"]
+        start_day = saved["next_day"]
+        if budget is not None:
+            budget.restart()
+
+    for day in range(start_day, n_days + 1):
+        if budget is not None:
+            reason = budget.exceeded(result.step_count)
+            if reason is not None:
+                ckpt = _make_checkpoint(day)
+                if checkpointer is not None:
+                    checkpointer.save(ckpt)
+                raise BudgetExceededError(reason, ckpt)
         day_result: DischargeResult = run_discharge_cycle(
             proxy, trace, profile=profile, control_dt=control_dt,
             max_duration_s=max_cycle_s,
@@ -166,6 +247,8 @@ def run_days(
             charge_time_s=charge_time,
             cell_health=tuple(h.health for h in healths),
         ))
+        if checkpointer is not None:
+            checkpointer.save(_make_checkpoint(day + 1))
         if any(h.end_of_life for h in healths):
             break
     return result

@@ -11,6 +11,9 @@ power traces, switch counts and battery activation ratios.
 from __future__ import annotations
 
 import abc
+import hashlib
+import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -20,6 +23,16 @@ from ..battery.switch import BatterySelection
 from ..device.phone import DemandSlice, Phone, StepOutcome
 from ..device.profiles import NEXUS, PhoneProfile
 from ..device.syscalls import Syscall
+from ..durability.budget import (
+    BudgetExceededError,
+    Heartbeat,
+    HeartbeatWatchdog,
+    RunBudget,
+    retire_on_stall,
+)
+from ..durability.deadline import poll_deadline
+from ..durability.snapshot import Checkpointer, SimCheckpoint
+from ..durability.state import StateMismatchError, pack_state, unpack_state
 from ..thermal.hotspot import HOT_SPOT_THRESHOLD_C, ThermostatController
 from ..thermal.tec import TECUnit
 from ..workload.traces import Trace
@@ -31,6 +44,7 @@ __all__ = [
     "SchedulingPolicy",
     "DischargeResult",
     "run_discharge_cycle",
+    "trace_fingerprint",
 ]
 
 
@@ -87,6 +101,27 @@ class SchedulingPolicy(abc.ABC):
         """
         return demand
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Default: pickle the whole instance ``__dict__``.
+
+        Works for any policy whose attributes are plain data (the
+        CAPMAN controller, the baselines, Oracle's trace digest).
+        Policies holding live plant references (the supervised wrapper)
+        must override with a hand-picked payload.
+        """
+        blob = pickle.dumps(self.__dict__, protocol=4)
+        return pack_state(self, self._STATE_VERSION, {"pickle": blob})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place (identity preserved)."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self.__dict__.update(pickle.loads(payload["pickle"]))
+
 
 @dataclass
 class DischargeResult:
@@ -136,6 +171,33 @@ class DischargeResult:
         return self.little_time_s / total if total > 0 else 0.0
 
 
+def trace_fingerprint(trace: Trace) -> str:
+    """A content hash of a trace's segments (for checkpoint matching).
+
+    Segments are frozen dataclasses with deterministic ``repr``, so the
+    digest identifies the exact demand sequence without pulling the
+    sweep engine's canonicaliser into this layer.
+    """
+    h = hashlib.sha256()
+    for seg in trace:
+        h.update(repr((seg.demand, seg.duration_s, seg.syscall)).encode())
+    return h.hexdigest()[:16]
+
+
+def _cycle_fingerprint(policy, trace, profile, control_dt, max_duration_s,
+                       ambient_c, tec_threshold_c, record_every,
+                       brownout_limit) -> str:
+    """Fingerprint of everything that must match for a resume."""
+    data = (
+        type(policy).__qualname__, policy.name,
+        trace.name, trace_fingerprint(trace),
+        getattr(profile, "name", repr(profile)),
+        control_dt, max_duration_s, ambient_c, tec_threshold_c,
+        record_every, brownout_limit,
+    )
+    return hashlib.sha256(repr(data).encode()).hexdigest()[:16]
+
+
 def run_discharge_cycle(
     policy: SchedulingPolicy,
     trace: Trace,
@@ -146,6 +208,10 @@ def run_discharge_cycle(
     tec_threshold_c: float = HOT_SPOT_THRESHOLD_C,
     record_every: int = 1,
     brownout_limit: int = 3,
+    checkpointer: Optional[Checkpointer] = None,
+    resume_from: Optional[SimCheckpoint] = None,
+    budget: Optional[RunBudget] = None,
+    stall_timeout_s: Optional[float] = None,
 ) -> DischargeResult:
     """Drive one full discharge cycle of ``policy`` over ``trace``.
 
@@ -156,6 +222,21 @@ def run_discharge_cycle(
     is dead and the cycle ends -- a pack cannot inflate its service
     time by limping along on partial service.  ``record_every`` thins
     metric recording for long runs.
+
+    Durability (all optional, all off by default):
+
+    * ``checkpointer`` saves a full-state :class:`SimCheckpoint` every
+      ``every_steps`` control steps.
+    * ``resume_from`` restores such a checkpoint and continues; the
+      run configuration must fingerprint-match the one that produced
+      it, and the continued run is bit-identical to the uninterrupted
+      one.
+    * ``budget`` is polled at the top of each step (a consistent state
+      point); blowing it raises :class:`BudgetExceededError` carrying
+      a final clean checkpoint instead of dying to a timeout kill.
+    * ``stall_timeout_s`` arms a heartbeat watchdog that flushes the
+      latest checkpoint and force-expires this thread's cooperative
+      deadline when the loop stops beating.
     """
     wall_start = time.perf_counter()
     pack = policy.build_pack()
@@ -177,6 +258,59 @@ def run_discharge_cycle(
     max_temp = ambient_c
     step_index = 0
     brownouts = 0
+
+    durable = (checkpointer is not None or resume_from is not None
+               or budget is not None or stall_timeout_s is not None)
+    fingerprint = ""
+    if durable:
+        fingerprint = _cycle_fingerprint(
+            policy, trace, profile, control_dt, max_duration_s, ambient_c,
+            tec_threshold_c, record_every, brownout_limit)
+
+    def _make_checkpoint() -> SimCheckpoint:
+        return SimCheckpoint.create("discharge", {
+            "fingerprint": fingerprint,
+            "step_index": step_index,
+            "service_time": service_time,
+            "energy": energy,
+            "big_time": big_time,
+            "little_time": little_time,
+            "hot_time": hot_time,
+            "max_temp": max_temp,
+            "brownouts": brownouts,
+            "policy": policy.state_dict(),
+            "phone": phone.state_dict(),
+            "thermostat": thermostat.state_dict(),
+            "metrics": metrics.state_dict(),
+        })
+
+    if resume_from is not None:
+        resume_from.verify()
+        if resume_from.kind != "discharge":
+            raise StateMismatchError(
+                f"checkpoint kind {resume_from.kind!r} is not a discharge "
+                f"checkpoint")
+        saved = resume_from.payload
+        if saved["fingerprint"] != fingerprint:
+            raise StateMismatchError(
+                "checkpoint was taken under a different run configuration "
+                f"({saved['fingerprint']} vs {fingerprint})")
+        # Restore order matters: the policy first (on_cycle_start has
+        # already rewired any fault plumbing it owns), then the plant.
+        policy.load_state_dict(saved["policy"])
+        phone.load_state_dict(saved["phone"])
+        thermostat.load_state_dict(saved["thermostat"])
+        metrics.load_state_dict(saved["metrics"])
+        service_time = saved["service_time"]
+        energy = saved["energy"]
+        big_time = saved["big_time"]
+        little_time = saved["little_time"]
+        hot_time = saved["hot_time"]
+        max_temp = saved["max_temp"]
+        brownouts = saved["brownouts"]
+        step_index = saved["step_index"]
+        if budget is not None:
+            budget.restart()  # fresh wall budget; steps carry over
 
     # Hot-loop hoists: bind per-step callables and constants once.  A
     # day-long trace at 1 s steps runs this loop ~10^5 times, and the
@@ -202,65 +336,102 @@ def run_discharge_cycle(
         big_cell, little_cell = pack.big, pack.little
         active_of = lambda: pack.active
 
-    for step in iter_control_steps(looped_segments(), control_dt, max_duration_s):
-        demand = step.segment.demand
-        if dual:
-            soc_big = big_cell.state_of_charge
-            soc_little = little_cell.state_of_charge
-            active = active_of() or big_sel
-        else:
-            soc_big = soc_little = pack.state_of_charge
-            active = big_sel
-        cpu_temp = thermal_temperature("cpu")
-        ctx = PolicyContext(
-            now_s=step.start_s,
-            demand=demand,
-            syscall=step.syscall,
-            predicted_power_w=predict_power(demand),
-            cpu_temp_c=cpu_temp,
-            surface_temp_c=thermal_temperature("surface"),
-            soc_big=soc_big,
-            soc_little=soc_little,
-            active=active,
-            segment_start=step.segment_start,
-        )
-
-        choice = decide(ctx)
-        if choice is not None:
-            select_battery(choice)
-        if uses_tec:
-            set_tec(thermostat_update(cpu_temp, step.start_s))
-        if filter_demand is not None:
-            demand = filter_demand(demand, ctx)
-
-        outcome: StepOutcome = phone_step(demand, step.dt)
-
-        energy += outcome.energy_j
-        if outcome.served_by is big_sel:
-            big_time += step.dt
-        elif outcome.served_by is little_sel:
-            little_time += step.dt
-        if outcome.cpu_temp_c > max_temp:
-            max_temp = outcome.cpu_temp_c
-        if outcome.cpu_temp_c >= tec_threshold_c:
-            hot_time += step.dt
-
-        step_index += 1
-        if step_index % record_every == 0:
-            t = step.start_s + step.dt
-            record("soc", t, pack.state_of_charge)
-            record("cpu_temp_c", t, outcome.cpu_temp_c)
-            record("power_w", t, outcome.demand_w)
-            record("voltage_v", t, outcome.voltage_v)
-
-        service_time = step.start_s + step.dt
-        if outcome.shortfall and pack.depleted:
-            break
-        demanded_j = outcome.demand_w * step.dt
-        if demanded_j > 0 and outcome.energy_j < demanded_j * 0.98:
-            brownouts += 1
-            if brownouts >= brownout_limit:
+    steps = iter_control_steps(looped_segments(), control_dt, max_duration_s)
+    if step_index:
+        # Fast-forward the pure slicing iterator past the completed
+        # steps; no physics runs here, so this is cheap and exact.
+        for _ in range(step_index):
+            if next(steps, None) is None:
                 break
+
+    heartbeat: Optional[Heartbeat] = None
+    watchdog: Optional[HeartbeatWatchdog] = None
+    if stall_timeout_s is not None:
+        heartbeat = Heartbeat()
+        watchdog = HeartbeatWatchdog(
+            heartbeat, stall_timeout_s,
+            retire_on_stall(checkpointer, threading.get_ident(),
+                            label=f"cycle[{policy.name}]")).start()
+
+    try:
+        for step in steps:
+            # Durability hooks live at the top of the step, where the
+            # state is consistent (== the end of the previous step).
+            poll_deadline()
+            if durable:
+                if heartbeat is not None:
+                    heartbeat.beat()
+                if budget is not None:
+                    reason = budget.exceeded(step_index)
+                    if reason is not None:
+                        ckpt = _make_checkpoint()
+                        if checkpointer is not None:
+                            checkpointer.save(ckpt)
+                        raise BudgetExceededError(reason, ckpt)
+                if checkpointer is not None and checkpointer.due(step_index):
+                    checkpointer.save(_make_checkpoint())
+
+            demand = step.segment.demand
+            if dual:
+                soc_big = big_cell.state_of_charge
+                soc_little = little_cell.state_of_charge
+                active = active_of() or big_sel
+            else:
+                soc_big = soc_little = pack.state_of_charge
+                active = big_sel
+            cpu_temp = thermal_temperature("cpu")
+            ctx = PolicyContext(
+                now_s=step.start_s,
+                demand=demand,
+                syscall=step.syscall,
+                predicted_power_w=predict_power(demand),
+                cpu_temp_c=cpu_temp,
+                surface_temp_c=thermal_temperature("surface"),
+                soc_big=soc_big,
+                soc_little=soc_little,
+                active=active,
+                segment_start=step.segment_start,
+            )
+
+            choice = decide(ctx)
+            if choice is not None:
+                select_battery(choice)
+            if uses_tec:
+                set_tec(thermostat_update(cpu_temp, step.start_s))
+            if filter_demand is not None:
+                demand = filter_demand(demand, ctx)
+
+            outcome: StepOutcome = phone_step(demand, step.dt)
+
+            energy += outcome.energy_j
+            if outcome.served_by is big_sel:
+                big_time += step.dt
+            elif outcome.served_by is little_sel:
+                little_time += step.dt
+            if outcome.cpu_temp_c > max_temp:
+                max_temp = outcome.cpu_temp_c
+            if outcome.cpu_temp_c >= tec_threshold_c:
+                hot_time += step.dt
+
+            step_index += 1
+            if step_index % record_every == 0:
+                t = step.start_s + step.dt
+                record("soc", t, pack.state_of_charge)
+                record("cpu_temp_c", t, outcome.cpu_temp_c)
+                record("power_w", t, outcome.demand_w)
+                record("voltage_v", t, outcome.voltage_v)
+
+            service_time = step.start_s + step.dt
+            if outcome.shortfall and pack.depleted:
+                break
+            demanded_j = outcome.demand_w * step.dt
+            if demanded_j > 0 and outcome.energy_j < demanded_j * 0.98:
+                brownouts += 1
+                if brownouts >= brownout_limit:
+                    break
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
 
     switch_count = pack.switch.switch_count if dual else 0
     tec: TECUnit = phone.tec

@@ -37,6 +37,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["TimeSeries", "MetricsRecorder"]
 
 
@@ -183,3 +185,28 @@ class MetricsRecorder:
     def series_names(self) -> List[str]:
         """Names of all recorded series."""
         return list(self._series)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """All series buffers (via their pickle form) and counters."""
+        return pack_state(self, self._STATE_VERSION, {
+            "max_points": self._max_points,
+            "series": {name: ts.__getstate__()
+                       for name, ts in self._series.items()},
+            "counters": dict(self._counters),
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore series and counters in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._max_points = payload["max_points"]
+        self._series = {}
+        for name, ts_state in payload["series"].items():
+            ts = TimeSeries.__new__(TimeSeries)
+            ts.__setstate__(ts_state)
+            self._series[name] = ts
+        self._counters = dict(payload["counters"])

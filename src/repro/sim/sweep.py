@@ -20,7 +20,13 @@ that implicit pattern into an explicit engine:
   its per-cell timeout) comes back as a :class:`CellFailure` carrying
   the traceback, and a killed worker (``BrokenProcessPool``) triggers
   bounded retries in isolated single-cell pools -- the rest of the
-  grid always completes, and failed cells are never cached.
+  grid always completes, and failed cells are never cached;
+* an optional write-ahead run journal
+  (:class:`~repro.durability.journal.RunJournal`) makes the sweep
+  itself crash-durable: every cell start and every committed result is
+  an fsync'd record, long cells checkpoint mid-flight into sidecar
+  files, and :meth:`ScenarioRunner.resume` continues a SIGKILL'd sweep
+  without recomputing a single committed cell.
 
 Every scenario cell is pure: it builds its own policy copy, pack and
 phone, so cells never share mutable state.  That is what makes the
@@ -38,14 +44,20 @@ import tempfile
 import threading
 import time
 import traceback as traceback_module
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..device.profiles import NEXUS, PhoneProfile
+from ..durability.deadline import DeadlineExceededError, thread_deadline
+from ..durability.journal import JournalError, RunJournal, decode_blob, encode_blob
+from ..durability.lock import FileLock
+from ..durability.snapshot import Checkpointer, SimCheckpoint
+from ..durability.state import StateMismatchError
 from ..workload.traces import Trace
 from .daily import MultiDayResult, run_days
 from .discharge import DischargeResult, SchedulingPolicy, run_discharge_cycle
@@ -65,8 +77,13 @@ __all__ = [
 CellResult = Union[DischargeResult, MultiDayResult]
 
 
-class CellTimeoutError(RuntimeError):
-    """A scenario cell exceeded the runner's per-cell timeout."""
+class CellTimeoutError(DeadlineExceededError):
+    """A scenario cell exceeded the runner's per-cell timeout.
+
+    Subclasses :class:`~repro.durability.deadline.DeadlineExceededError`
+    so the SIGALRM path and the cooperative-deadline fallback raise the
+    same family of exception -- callers filter on one type either way.
+    """
 
 
 @dataclass(frozen=True)
@@ -300,12 +317,19 @@ class SweepCache:
     """Pickle-per-cell result cache with atomic writes.
 
     Corrupted or unreadable entries are treated as misses and deleted,
-    so a torn write (or a foreign file) never poisons a sweep.
+    so a torn write (or a foreign file) never poisons a sweep.  Writes
+    additionally hold an advisory :class:`~repro.durability.lock.FileLock`
+    on an adjacent ``.lock`` file, so two runners pointed at the same
+    directory serialise their write sequences instead of interleaving
+    them (the kernel releases the lock if a holder dies, so a crashed
+    runner can never wedge the cache).
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Advisory inter-process writer lock (reads stay lock-free).
+        self.lock = FileLock(self.directory / ".lock")
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -327,19 +351,20 @@ class SweepCache:
             return None
 
     def put(self, key: str, result: CellResult) -> None:
-        """Store a result atomically (write-to-temp + rename)."""
+        """Store a result atomically (write-to-temp + rename, locked)."""
         path = self._path(key)
-        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        with self.lock:
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))
@@ -360,6 +385,11 @@ class SimStats:
     cell_retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Committed cells restored from the run journal (never recomputed).
+    cells_resumed: int = 0
+    #: Pending cells that found an in-cell sidecar checkpoint to
+    #: continue from (their completed steps are not re-simulated).
+    cells_checkpoint_resumed: int = 0
     #: Control steps across computed cells (cache hits excluded).
     steps_total: int = 0
     #: Wall time spent expanding the spec / hashing keys (s).
@@ -460,8 +490,11 @@ def _cell_matches(cell: ScenarioCell, axes: Mapping[str, Any]) -> bool:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _execute_cell(cell: ScenarioCell) -> CellResult:
-    """Run one scenario cell (worker entry point; must be picklable).
+def _run_cell_once(cell: ScenarioCell,
+                   checkpointer: Optional[Checkpointer],
+                   resume_from: Optional[SimCheckpoint],
+                   stall_timeout_s: Optional[float]) -> CellResult:
+    """One attempt at a cell, optionally durable.
 
     The policy template and extra run arguments are cloned via a
     pickle round trip so serial execution sees exactly the fresh-copy
@@ -469,56 +502,109 @@ def _execute_cell(cell: ScenarioCell) -> CellResult:
     identical either way.
     """
     policy, extra = pickle.loads(pickle.dumps((cell.policy, dict(cell.extra))))
+    durable: Dict[str, Any] = {}
+    if checkpointer is not None:
+        durable["checkpointer"] = checkpointer
+        durable["resume_from"] = resume_from
     if cell.kind == "daily":
         result: CellResult = run_days(
             policy, cell.trace, profile=cell.profile,
             control_dt=cell.control_dt, max_cycle_s=cell.max_duration_s,
-            **extra,
+            **durable, **extra,
         )
     else:
+        if stall_timeout_s is not None:
+            durable["stall_timeout_s"] = stall_timeout_s
         result = run_discharge_cycle(
             policy, cell.trace, profile=cell.profile,
             control_dt=cell.control_dt, max_duration_s=cell.max_duration_s,
             ambient_c=cell.ambient_c, record_every=cell.record_every,
-            **extra,
+            **durable, **extra,
         )
     return result
 
 
-def _execute_with_timeout(cell: ScenarioCell,
-                          timeout_s: Optional[float]) -> CellResult:
-    """Run one cell under a wall-clock budget (SIGALRM, where possible).
+def _execute_cell(cell: ScenarioCell,
+                  ckpt_path: Optional[str] = None,
+                  ckpt_every: int = 0,
+                  stall_timeout_s: Optional[float] = None) -> CellResult:
+    """Run one scenario cell (worker entry point; must be picklable).
 
-    The alarm only works on the main thread of a POSIX process -- which
-    is exactly where ProcessPoolExecutor workers (and the serial path)
-    run cells.  Elsewhere the timeout degrades to "no timeout" rather
-    than failing.
+    When ``ckpt_path`` is set (journalled sweeps), the cell writes
+    periodic sidecar checkpoints there and, if a verified sidecar from
+    an interrupted attempt exists, resumes from it instead of starting
+    over.  A sidecar whose configuration fingerprint no longer matches
+    (edited spec under an unchanged key salt) is discarded and the
+    cell recomputes from scratch -- stale state is never trusted.
+    """
+    if ckpt_path is None:
+        return _run_cell_once(cell, None, None, stall_timeout_s)
+    checkpointer = Checkpointer(ckpt_path, every_steps=ckpt_every)
+    resume_from = SimCheckpoint.try_load(ckpt_path)
+    try:
+        return _run_cell_once(cell, checkpointer, resume_from,
+                              stall_timeout_s)
+    except StateMismatchError:
+        if resume_from is None:
+            raise
+        try:
+            os.unlink(ckpt_path)
+        except OSError:
+            pass
+        return _run_cell_once(cell, checkpointer, None, stall_timeout_s)
+
+
+def _execute_with_timeout(cell: ScenarioCell,
+                          timeout_s: Optional[float],
+                          ckpt_path: Optional[str] = None,
+                          ckpt_every: int = 0,
+                          stall_timeout_s: Optional[float] = None) -> CellResult:
+    """Run one cell under a wall-clock budget.
+
+    SIGALRM delivers a hard timeout on the main thread of a POSIX
+    process -- which is exactly where ProcessPoolExecutor workers (and
+    the serial path) run cells.  Anywhere else (worker threads,
+    platforms without ``setitimer``) the budget degrades -- with a
+    warning -- to a cooperative per-thread deadline that the simulation
+    loops poll every control step, instead of silently having no
+    timeout at all.
     """
     if not timeout_s or timeout_s <= 0:
-        return _execute_cell(cell)
+        return _execute_cell(cell, ckpt_path, ckpt_every, stall_timeout_s)
+    use_alarm = False
     try:
         import signal
+        use_alarm = (hasattr(signal, "setitimer")
+                     and threading.current_thread() is threading.main_thread())
     except ImportError:  # pragma: no cover - signal is POSIX-universal
-        return _execute_cell(cell)
-    if (not hasattr(signal, "setitimer")
-            or threading.current_thread() is not threading.main_thread()):
-        return _execute_cell(cell)
+        pass
+    message = f"cell exceeded the per-cell timeout of {timeout_s} s"
+    if not use_alarm:
+        warnings.warn(
+            "SIGALRM is unavailable off the main thread / on this "
+            "platform; the per-cell timeout falls back to a cooperative "
+            "deadline polled by the simulation loop (best-effort)",
+            RuntimeWarning, stacklevel=2)
+        with thread_deadline(timeout_s, message, exc_type=CellTimeoutError):
+            return _execute_cell(cell, ckpt_path, ckpt_every,
+                                 stall_timeout_s)
 
     def _on_alarm(signum, frame):
-        raise CellTimeoutError(
-            f"cell exceeded the per-cell timeout of {timeout_s} s")
+        raise CellTimeoutError(message)
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return _execute_cell(cell)
+        return _execute_cell(cell, ckpt_path, ckpt_every, stall_timeout_s)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
 def _timed_cell(
-    cell: ScenarioCell, timeout_s: Optional[float] = None
+    cell: ScenarioCell, timeout_s: Optional[float] = None,
+    ckpt_path: Optional[str] = None, ckpt_every: int = 0,
+    stall_timeout_s: Optional[float] = None,
 ) -> Tuple[int, CellOutcome, float, int]:
     """(index, outcome, compute seconds, steps) for one cell.
 
@@ -531,7 +617,8 @@ def _timed_cell(
     """
     started = time.perf_counter()
     try:
-        result: CellOutcome = _execute_with_timeout(cell, timeout_s)
+        result: CellOutcome = _execute_with_timeout(
+            cell, timeout_s, ckpt_path, ckpt_every, stall_timeout_s)
     except Exception as exc:
         elapsed = time.perf_counter() - started
         failure = CellFailure(
@@ -573,6 +660,23 @@ class ScenarioRunner:
     cell_timeout_s:
         Optional per-cell wall-clock budget; a cell over budget is
         reported as a :class:`CellFailure` (``CellTimeoutError``).
+    journal:
+        Optional path of a write-ahead run journal.  :meth:`run` then
+        records every cell start and every committed result durably
+        (fsync per record), and :meth:`resume` can continue the sweep
+        after a crash/SIGKILL without recomputing committed cells.
+        In-flight cells checkpoint into sidecar files under
+        ``<journal>.d/`` and restart from their last checkpoint.
+    checkpoint_every_steps:
+        Sidecar-checkpoint cadence, in control steps, for journalled
+        cells (0 disables in-cell checkpoints; commit-level durability
+        still applies).  For "daily" sweeps checkpoints land at day
+        boundaries regardless of cadence.
+    stall_timeout_s:
+        Optional heartbeat-stall watchdog for journalled discharge
+        cells: a cell whose control loop stops beating for this long
+        has its latest sidecar checkpoint flushed and is retired as a
+        contained timeout failure.
     """
 
     def __init__(
@@ -582,6 +686,9 @@ class ScenarioRunner:
         salt: Optional[str] = None,
         retries: int = 1,
         cell_timeout_s: Optional[float] = None,
+        journal: Union[str, Path, None] = None,
+        checkpoint_every_steps: int = 0,
+        stall_timeout_s: Optional[float] = None,
     ) -> None:
         if workers == 0:
             workers = os.cpu_count() or 1
@@ -594,10 +701,90 @@ class ScenarioRunner:
             raise ValueError("retries must be non-negative")
         self.retries = retries
         self.cell_timeout_s = cell_timeout_s
+        self.journal = Path(journal) if journal is not None else None
+        if checkpoint_every_steps < 0:
+            raise ValueError("checkpoint_every_steps must be non-negative")
+        self.checkpoint_every_steps = checkpoint_every_steps
+        self.stall_timeout_s = stall_timeout_s
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
         """Execute every cell of ``spec``; see the class docstring."""
+        if self.journal is None:
+            return self._run(spec, journal=None, committed={}, salt=None)
+        if self.journal.exists() and self.journal.stat().st_size > 0:
+            raise JournalError(
+                f"journal {self.journal} already has records; call "
+                f"ScenarioRunner.resume() to continue that sweep, or "
+                f"delete the journal to start over")
+        salt = self._salt if self._salt is not None else code_salt()
+        with RunJournal(self.journal) as journal:
+            journal.append("sweep_start", {
+                "spec": encode_blob(pickle.dumps(spec, protocol=4)),
+                "salt": salt,
+                "n_cells": len(spec),
+                "kind": spec.kind,
+            })
+            return self._run(spec, journal=journal, committed={}, salt=salt)
+
+    def resume(self, journal: Union[str, Path, None] = None) -> SweepResult:
+        """Continue a journalled sweep after a crash or kill.
+
+        Replays the journal (recovering any torn tail by truncation),
+        reconstructs the spec and key salt from the ``sweep_start``
+        header, fills every committed cell's result slot straight from
+        its commit record -- byte-identical, never recomputed -- and
+        runs only the remainder.  Half-done cells restart from their
+        sidecar checkpoints.  The journal keeps extending, so resume
+        is itself resumable.
+        """
+        path = Path(journal) if journal is not None else self.journal
+        if path is None:
+            raise JournalError(
+                "no journal to resume: pass a path or construct the "
+                "runner with journal=...")
+        records = RunJournal.replay(path)
+        if not records or records[0]["type"] != "sweep_start":
+            raise JournalError(
+                f"{path} is not a sweep journal (missing sweep_start "
+                f"header record)")
+        head = records[0]["data"]
+        spec: SweepSpec = pickle.loads(decode_blob(head["spec"]))
+        committed: Dict[int, CellResult] = {}
+        for record in records[1:]:
+            if record["type"] != "cell_commit":
+                continue
+            data = record["data"]
+            committed[data["index"]] = pickle.loads(decode_blob(data["result"]))
+        with RunJournal(path) as live:
+            return self._run(spec, journal=live, committed=committed,
+                             salt=head["salt"])
+
+    def run_or_resume(self, spec: SweepSpec) -> SweepResult:
+        """Run ``spec``, or resume the runner's journal if it has records.
+
+        The idempotent entry point for batch jobs: the first invocation
+        starts a journalled sweep, a re-invocation after a crash (or a
+        kill) picks up where the journal left off.  On resume the
+        journal's recorded spec governs -- it froze the sweep's identity
+        at ``sweep_start`` -- so ``spec`` is only consulted for a sanity
+        check that the caller is re-running the same grid shape.
+        """
+        if self.journal is not None and self.journal.exists() \
+                and self.journal.stat().st_size > 0:
+            result = self.resume()
+            if len(result.results) != len(spec):
+                raise JournalError(
+                    f"journal {self.journal} records a {len(result.results)}-"
+                    f"cell sweep but the caller passed a {len(spec)}-cell "
+                    f"spec; delete the journal to start the new sweep")
+            return result
+        return self.run(spec)
+
+    # ------------------------------------------------------------------
+    def _run(self, spec: SweepSpec, journal: Optional[RunJournal],
+             committed: Dict[int, CellResult],
+             salt: Optional[str]) -> SweepResult:
         run_started = time.perf_counter()
         stats = SimStats(workers=self.workers)
 
@@ -605,33 +792,82 @@ class ScenarioRunner:
         cells = spec.expand()
         stats.cells_total = len(cells)
         keys: List[Optional[str]] = [None] * len(cells)
-        if self.cache is not None:
-            salt = self._salt if self._salt is not None else code_salt()
+        if self.cache is not None or journal is not None:
+            if salt is None:
+                salt = self._salt if self._salt is not None else code_salt()
             keys = [cell_key(cell, salt) for cell in cells]
         stats.expand_wall_s = time.perf_counter() - expand_started
 
         results: List[Optional[CellResult]] = [None] * len(cells)
         pending: List[ScenarioCell] = []
-        if self.cache is not None:
-            cache_started = time.perf_counter()
-            for cell, key in zip(cells, keys):
-                hit = self.cache.get(key)  # type: ignore[arg-type]
+        cache_started = time.perf_counter()
+        for cell in cells:
+            if cell.index in committed:
+                # Journalled and durable: the recorded result is the
+                # result -- recomputing it is exactly what the
+                # write-ahead log exists to prevent.
+                results[cell.index] = committed[cell.index]
+                stats.cells_resumed += 1
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(keys[cell.index])  # type: ignore[arg-type]
                 if hit is not None:
                     results[cell.index] = hit
                     stats.cache_hits += 1
-                else:
-                    pending.append(cell)
-                    stats.cache_misses += 1
+                    continue
+                stats.cache_misses += 1
+            pending.append(cell)
+        if self.cache is not None:
             stats.cache_wall_s += time.perf_counter() - cache_started
-        else:
-            pending = list(cells)
+
+        ckpts: Dict[int, str] = {}
+        if journal is not None and pending:
+            sidecar_dir = Path(str(journal.path) + ".d")
+            for cell in pending:
+                sidecar = sidecar_dir / f"cell-{keys[cell.index][:16]}.ckpt"  # type: ignore[index]
+                ckpts[cell.index] = str(sidecar)
+                if sidecar.exists():
+                    stats.cells_checkpoint_resumed += 1
+            for cell in pending:
+                journal.append("cell_start", {
+                    "index": cell.index,
+                    "key": keys[cell.index],
+                    "label": cell.label,
+                })
+
+        def _finalise(index: int, outcome: CellOutcome) -> None:
+            """Durably commit a final outcome as it lands.
+
+            Failures are deliberately not committed -- a resume retries
+            them -- and a committed cell's sidecar checkpoint is
+            deleted: the commit record supersedes it.
+            """
+            if journal is None or isinstance(outcome, CellFailure):
+                return
+            journal.append("cell_commit", {
+                "index": index,
+                "key": keys[index],
+                "result": encode_blob(pickle.dumps(outcome, protocol=4)),
+            })
+            sidecar = ckpts.get(index)
+            if sidecar is not None:
+                try:
+                    os.unlink(sidecar)
+                except OSError:
+                    pass
 
         if pending:
             if self.workers > 1 and len(pending) > 1:
-                computed = self._run_parallel(pending, stats)
+                computed = self._run_parallel(pending, stats, ckpts,
+                                              _finalise)
             else:
-                computed = [_timed_cell(cell, self.cell_timeout_s)
-                            for cell in pending]
+                computed = []
+                for cell in pending:
+                    item = _timed_cell(
+                        cell, self.cell_timeout_s, ckpts.get(cell.index),
+                        self.checkpoint_every_steps, self.stall_timeout_s)
+                    computed.append(item)
+                    _finalise(item[0], item[1])
             for index, result, elapsed, steps in computed:
                 results[index] = result
                 stats.compute_wall_s += elapsed
@@ -651,7 +887,9 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------
     def _run_parallel(
-        self, pending: Sequence[ScenarioCell], stats: SimStats
+        self, pending: Sequence[ScenarioCell], stats: SimStats,
+        ckpts: Optional[Dict[int, str]] = None,
+        on_final: Optional[Callable[[int, "CellOutcome"], None]] = None,
     ) -> List[Tuple[int, CellOutcome, float, int]]:
         """Fan out with containment for killed workers.
 
@@ -666,6 +904,7 @@ class ScenarioRunner:
         """
         outcomes: Dict[int, Tuple[int, CellOutcome, float, int]] = {}
         attempts: Dict[int, int] = {cell.index: 0 for cell in pending}
+        ckpts = ckpts or {}
         todo: List[ScenarioCell] = list(pending)
         isolate = False
         while todo:
@@ -675,7 +914,10 @@ class ScenarioRunner:
                 workers = min(self.workers, len(group))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = [
-                        (pool.submit(_timed_cell, cell, self.cell_timeout_s),
+                        (pool.submit(_timed_cell, cell, self.cell_timeout_s,
+                                     ckpts.get(cell.index),
+                                     self.checkpoint_every_steps,
+                                     self.stall_timeout_s),
                          cell)
                         for cell in group
                     ]
@@ -693,6 +935,8 @@ class ScenarioRunner:
                                 )
                                 outcomes[cell.index] = (cell.index, failure,
                                                         0.0, 0)
+                                if on_final is not None:
+                                    on_final(cell.index, failure)
                             else:
                                 stats.cell_retries += 1
                                 retry.append(cell)
@@ -703,6 +947,8 @@ class ScenarioRunner:
                                 outcome,
                                 attempts=attempts[cell.index] + 1)
                         outcomes[cell.index] = (index, outcome, elapsed, steps)
+                        if on_final is not None:
+                            on_final(index, outcome)
             todo = retry
             # After any pool breakage, quarantine survivors one per pool.
             isolate = True

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["HOT_SPOT_THRESHOLD_C", "ThermostatController", "hot_spot_fraction"]
 
 #: The paper's hot-spot definition (degC).
@@ -57,6 +59,24 @@ class ThermostatController:
             self._on = False
             self._transitions.append((now_s, False))
         return self._on
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable thermostat state (latched state + transition log)."""
+        return pack_state(self, self._STATE_VERSION, {
+            "on": self._on,
+            "transitions": list(self._transitions),
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._on = payload["on"]
+        self._transitions = [tuple(t) for t in payload["transitions"]]
 
 
 def hot_spot_fraction(temps_c: List[float], threshold_c: float = HOT_SPOT_THRESHOLD_C) -> float:

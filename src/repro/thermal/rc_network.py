@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..durability.state import StateMismatchError, pack_state, unpack_state
+
 __all__ = ["ThermalNode", "ThermalNetwork", "phone_thermal_network"]
 
 
@@ -149,6 +151,31 @@ class ThermalNetwork:
                       if not node.is_boundary]
             self._compiled = (names, links, active, self._stable_substep())
         return self._compiled
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable state: the node temperatures (topology is config)."""
+        return pack_state(self, self._STATE_VERSION,
+                          {"temperatures": self.temperatures()})
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore node temperatures in place.
+
+        The node-name set must match exactly — a checkpoint from a
+        different topology is a configuration mismatch, not a restore.
+        """
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        temps = payload["temperatures"]
+        if set(temps) != set(self._nodes):
+            raise StateMismatchError(
+                f"thermal node set mismatch: checkpoint has "
+                f"{sorted(temps)}, network has {sorted(self._nodes)}")
+        for name, temp in temps.items():
+            self._nodes[name].temperature_c = temp
 
     def _stable_substep(self) -> float:
         """A timestep comfortably below the fastest RC constant."""

@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..durability.state import pack_state, unpack_state
+
 __all__ = ["TECModel", "TECUnit"]
 
 _KELVIN = 273.15
@@ -173,3 +175,23 @@ class TECUnit:
             self.cold_node: -pumped,
             self.hot_node: pumped + self.drive_power_w,
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Mutable actuator state (commanded state + bookkeeping)."""
+        return pack_state(self, self._STATE_VERSION, {
+            "on": self._on,
+            "on_time_s": self._on_time_s,
+            "energy_j": self._energy_j,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        self._on = payload["on"]
+        self._on_time_s = payload["on_time_s"]
+        self._energy_j = payload["energy_j"]

@@ -1,6 +1,6 @@
 """Workload substrate: generators, toggling, traces."""
 
-from .base import Segment, Workload
+from .base import Segment, SegmentStream, Workload
 from .generators import (
     EtaStaticWorkload,
     GeekbenchWorkload,
@@ -14,6 +14,7 @@ from .traces import Trace, TraceWorkload, record_trace
 
 __all__ = [
     "Segment",
+    "SegmentStream",
     "Workload",
     "EtaStaticWorkload",
     "GeekbenchWorkload",

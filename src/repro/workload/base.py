@@ -17,8 +17,14 @@ import numpy as np
 
 from ..device.phone import DemandSlice
 from ..device.syscalls import Syscall
+from ..durability.state import (
+    StateMismatchError,
+    class_tag,
+    pack_state,
+    unpack_state,
+)
 
-__all__ = ["Segment", "Workload"]
+__all__ = ["Segment", "Workload", "SegmentStream"]
 
 
 @dataclass(frozen=True)
@@ -60,3 +66,67 @@ class Workload(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"
+
+    def stream(self) -> "SegmentStream":
+        """A resumable (checkpointable) view of :meth:`segments`."""
+        return SegmentStream(self)
+
+
+class SegmentStream:
+    """A position-tracking, checkpointable segment iterator.
+
+    Workload generation is a pure function of the workload's seed, so
+    the stream's whole mutable state is *how far it has advanced*.  A
+    restore rebuilds the underlying generator from the seed and
+    fast-forwards it — including the NumPy ``Generator`` hidden inside
+    the generator closure, whose state after ``k`` yields is uniquely
+    determined by the seed — so the resumed stream is bit-identical to
+    the uninterrupted one.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._iter: Iterator[Segment] = workload.segments()
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """Number of segments consumed so far."""
+        return self._position
+
+    def __iter__(self) -> "SegmentStream":
+        return self
+
+    def __next__(self) -> Segment:
+        segment = next(self._iter)
+        self._position += 1
+        return segment
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Seed identity plus stream position."""
+        return pack_state(self, self._STATE_VERSION, {
+            "workload_class": class_tag(self.workload),
+            "workload_seed": self.workload.seed,
+            "position": self._position,
+        })
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the generator and fast-forward to the saved position."""
+        payload = unpack_state(self, state, self._STATE_VERSION)
+        if payload["workload_class"] != class_tag(self.workload):
+            raise StateMismatchError(
+                f"stream checkpoint is for {payload['workload_class']}, "
+                f"not {class_tag(self.workload)}")
+        if payload["workload_seed"] != self.workload.seed:
+            raise StateMismatchError(
+                f"stream checkpoint seed {payload['workload_seed']} does "
+                f"not match workload seed {self.workload.seed}")
+        self._iter = self.workload.segments()
+        self._position = 0
+        for _ in range(payload["position"]):
+            next(self)
