@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate over the sweep-engine throughput run.
+
+Compares a freshly produced ``BENCH_sim.json`` (written by
+``benchmarks/test_sim_throughput.py``) against the committed baseline
+``benchmarks/baselines/BENCH_sim.baseline.json`` and fails -- nonzero
+exit, for CI -- on regression:
+
+* **Deterministic fields match exactly.**  The grid identity and the
+  serial run's step/cell accounting (``steps_total``, ``cells_total``,
+  ``cells_failed``) are machine-independent; any drift means the
+  benchmark is no longer measuring the same work and the baseline must
+  be consciously regenerated, not silently absorbed.
+* **Throughput holds within a tolerance.**  The serial
+  ``steps_per_sec`` must stay above ``tolerance x baseline`` (default
+  0.5x, i.e. flag a 2x slowdown; CI machines are noisy, real hot-loop
+  regressions are much bigger than that).  Override with
+  ``--tolerance`` or the ``CAPMAN_BENCH_TOLERANCE`` env var.
+
+Regenerate the baseline after an intentional change with::
+
+    python -m pytest benchmarks/test_sim_throughput.py --benchmark-only -x -q -s
+    python scripts/bench_gate.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO = Path(__file__).resolve().parent.parent
+FRESH_PATH = REPO / "BENCH_sim.json"
+BASELINE_PATH = REPO / "benchmarks" / "baselines" / "BENCH_sim.baseline.json"
+
+#: Fraction of the baseline serial steps/sec the fresh run must hold.
+DEFAULT_TOLERANCE = 0.5
+
+#: Machine-independent serial-run fields gated by exact equality.
+EXACT_SERIAL_FIELDS = ("steps_total", "cells_total", "cells_computed",
+                      "cells_failed")
+
+
+def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The gated subset of a ``BENCH_sim.json`` payload.
+
+    Only this subset lands in the baseline file, so the committed
+    baseline never churns on machine-dependent noise (wall times,
+    cpu_count, parallel speedups).
+    """
+    serial = payload["serial"]
+    return {
+        "grid": payload["grid"],
+        "serial": {name: serial[name] for name in EXACT_SERIAL_FIELDS},
+        "steps_per_sec": serial["steps_per_sec"],
+    }
+
+
+def compare(fresh: Dict[str, Any], baseline: Dict[str, Any],
+            tolerance: float) -> List[str]:
+    """Human-readable regression descriptions (empty == gate passes)."""
+    problems: List[str] = []
+    if fresh["grid"] != baseline["grid"]:
+        problems.append(
+            f"grid identity changed:\n  baseline: {baseline['grid']}\n"
+            f"  fresh:    {fresh['grid']}")
+    for name in EXACT_SERIAL_FIELDS:
+        got, want = fresh["serial"][name], baseline["serial"][name]
+        if got != want:
+            problems.append(
+                f"serial.{name}: expected exactly {want}, got {got} "
+                f"(deterministic field -- the benchmark's work changed)")
+    floor = tolerance * baseline["steps_per_sec"]
+    if fresh["steps_per_sec"] < floor:
+        problems.append(
+            f"throughput regression: serial steps_per_sec "
+            f"{fresh['steps_per_sec']:.0f} < {floor:.0f} "
+            f"({tolerance:g} x baseline {baseline['steps_per_sec']:.0f})")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, default=FRESH_PATH,
+                        help="fresh benchmark payload (default: %(default)s)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("CAPMAN_BENCH_TOLERANCE",
+                                     DEFAULT_TOLERANCE)),
+        help="minimum fraction of baseline steps/sec to accept "
+             "(default: %(default)s, env: CAPMAN_BENCH_TOLERANCE)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the gated subset of --fresh to "
+                             "--baseline instead of comparing")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance <= 1.0:
+        parser.error("--tolerance must lie in (0, 1]")
+
+    if not args.fresh.exists():
+        print(f"bench gate: no fresh payload at {args.fresh}; run\n"
+              f"  python -m pytest benchmarks/test_sim_throughput.py "
+              f"--benchmark-only -x -q -s", file=sys.stderr)
+        return 2
+    fresh = extract_gated(json.loads(args.fresh.read_text()))
+
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"bench gate: baseline written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"bench gate: no baseline at {args.baseline}; commit one "
+              f"with --write-baseline", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    problems = compare(fresh, baseline, args.tolerance)
+    if problems:
+        print("bench gate: FAIL", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"bench gate: OK (steps_total={fresh['serial']['steps_total']}, "
+          f"steps_per_sec={fresh['steps_per_sec']:.0f} >= "
+          f"{args.tolerance:g} x baseline "
+          f"{baseline['steps_per_sec']:.0f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,6 +25,9 @@ The package is organised as the paper's system is:
 * :mod:`repro.faults`   -- seeded fault injection (switch / TEC /
   sensor / cell) and supervised degraded-mode control.
 * :mod:`repro.analysis` -- fitting, radar normalisation, reporting.
+* :mod:`repro.obs`      -- observability spine: metrics registry,
+  hierarchical tracer, exporters; off by default and provably
+  invisible to every simulated quantity when off.
 
 Quickstart::
 
@@ -38,7 +41,8 @@ Quickstart::
     print(capman.service_time_s / stock.service_time_s)
 """
 
-from . import analysis, battery, capman, core, device, faults, sim, thermal, workload
+from . import (analysis, battery, capman, core, device, faults, obs, sim,
+               thermal, workload)
 
 __version__ = "1.0.0"
 
@@ -49,6 +53,7 @@ __all__ = [
     "core",
     "device",
     "faults",
+    "obs",
     "sim",
     "thermal",
     "workload",

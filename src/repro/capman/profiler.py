@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from .. import obs
 from ..battery.chemistry import BatteryRole, Chemistry, pick_big_little
 from ..battery.switch import BatterySelection
 from ..device.phone import DemandSlice, derive_device_state
@@ -317,6 +318,9 @@ class PowerProfiler:
         """
         if not self._counts:
             raise ValueError("no observations recorded yet")
+        ob = obs.session()
+        span = (ob.tracer.start("profiler.build_decision_mdp")
+                if ob is not None else None)
         if calibrate:
             import dataclasses
 
@@ -356,6 +360,10 @@ class PowerProfiler:
                         dist[sp] = dist.get(sp, 0.0) + n / total
                         rewards[(s, choice, sp)] = r
                     transitions[(s, choice)] = dist
+        if span is not None:
+            span.annotate(states=len(states))
+            span.finish()
+            ob.registry.counter("profiler.mdp_builds").inc()
         return MDP(states, list(_CHOICES), transitions, rewards)
 
     def build_syscall_mdp(self) -> MDP:
@@ -367,6 +375,9 @@ class PowerProfiler:
         """
         if not self._class_counts:
             raise ValueError("no syscall-tagged observations recorded yet")
+        ob = obs.session()
+        span = (ob.tracer.start("profiler.build_syscall_mdp")
+                if ob is not None else None)
         big_chem, little_chem = pick_big_little()
         chem_of = {
             BatterySelection.BIG: big_chem,
@@ -409,4 +420,8 @@ class PowerProfiler:
                         dist[sp] = dist.get(sp, 0.0) + n / total
                         rewards[(s, a, sp)] = r
                     transitions[(s, a)] = dist
+        if span is not None:
+            span.annotate(states=len(states), actions=len(actions))
+            span.finish()
+            ob.registry.counter("profiler.mdp_builds").inc()
         return MDP(states, actions, transitions, rewards)

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from .. import obs
 from ..durability.state import pack_state, unpack_state
 from .graph import MDPGraph
 from .mdp import MDP, Action, State
@@ -134,6 +135,9 @@ class OnlineScheduler:
     # ------------------------------------------------------------------
     def build_similarity_index(self) -> SimilarityResult:
         """Run Algorithm 1 in the background (bound instantiation)."""
+        ob = obs.session()
+        span = (ob.tracer.start("scheduler.build_similarity_index")
+                if ob is not None else None)
         started = time.perf_counter()
         solver = StructuralSimilarity(
             self.graph,
@@ -145,7 +149,11 @@ class OnlineScheduler:
         )
         self.similarity = solver.solve()
         self._decision_cache.clear()
-        self.stats.background_s += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.background_s += elapsed
+        if span is not None:
+            span.finish()
+            ob.registry.counter("scheduler.background_s").inc(elapsed)
         return self.similarity
 
     def mark_stale(self, state: State) -> None:
@@ -157,11 +165,18 @@ class OnlineScheduler:
 
     def recompute(self) -> None:
         """Full background refresh: re-solve values, clear staleness."""
+        ob = obs.session()
+        span = (ob.tracer.start("scheduler.recompute")
+                if ob is not None else None)
         started = time.perf_counter()
         self.solution = value_iteration(self.mdp, self.rho)
         self._stale.clear()
         self._decision_cache.clear()
-        self.stats.background_s += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.stats.background_s += elapsed
+        if span is not None:
+            span.finish()
+            ob.registry.counter("scheduler.background_s").inc(elapsed)
 
     # ------------------------------------------------------------------
     # Online path
@@ -175,6 +190,7 @@ class OnlineScheduler:
         choice otherwise.  With the decision cache on, a state seen
         before answers in O(1) from the memo.
         """
+        ob = obs.session()
         started = time.perf_counter()
 
         if self._cache_enabled:
@@ -183,6 +199,10 @@ class OnlineScheduler:
                 action, source, surrogate, delta = cached
                 self.stats.cache_hits += 1
                 latency_us = (time.perf_counter() - started) * 1e6
+                if ob is not None:
+                    reg = ob.registry
+                    reg.counter("scheduler.cache_hits").inc()
+                    reg.histogram("scheduler.decide_s").observe(latency_us * 1e-6)
                 record = DecisionRecord(state, action, source, surrogate, delta, latency_us)
                 self.decisions.append(record)
                 return record
@@ -220,6 +240,12 @@ class OnlineScheduler:
         now = time.perf_counter()
         self.stats.lookup_s += now - refined
         latency_us = (now - started) * 1e6
+        if ob is not None:
+            reg = ob.registry
+            reg.counter("scheduler.cache_misses").inc()
+            reg.counter("scheduler.refine_s").inc(refined - started)
+            reg.counter("scheduler.lookup_s").inc(now - refined)
+            reg.histogram("scheduler.decide_s").observe(latency_us * 1e-6)
         record = DecisionRecord(state, action, source, surrogate, delta, latency_us)
         self.decisions.append(record)
         return record

@@ -44,6 +44,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .emd import EMDStats, PairwiseEMD, emd_dicts
 from .graph import ActionNode, MDPGraph
 from .hausdorff import hausdorff
@@ -179,9 +180,27 @@ class StructuralSimilarity:
     # ------------------------------------------------------------------
     def solve(self) -> SimilarityResult:
         """Run the recursion to its fixed point."""
-        if self.fast:
-            return self._solve_fast()
-        return self._solve_reference()
+        ob = obs.session()
+        if ob is None:
+            return self._solve_fast() if self.fast else self._solve_reference()
+        with ob.tracer.span("similarity.solve",
+                            mode="fast" if self.fast else "reference"):
+            result = self._solve_fast() if self.fast else self._solve_reference()
+        # Mirror the per-solve SolverStats into the registry so the
+        # telemetry blob is the one place these counts surface.
+        stats = result.stats
+        reg = ob.registry
+        reg.counter("similarity.solves").inc()
+        if stats is not None:
+            reg.counter("similarity.iterations").inc(stats.iterations)
+            reg.histogram("similarity.solve_s").observe(stats.total_s)
+            if stats.emd is not None:
+                emd = stats.emd
+                reg.counter("similarity.emd.calls").inc(emd.calls)
+                reg.counter("similarity.emd.solves").inc(emd.solves)
+                reg.counter("similarity.emd.memo_hits").inc(emd.memo_hits)
+                reg.counter("similarity.emd.reuse_hits").inc(emd.reuse_hits)
+        return result
 
     # ------------------------------------------------------------------
     # Shared setup

@@ -24,8 +24,11 @@ import base64
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import obs
 
 __all__ = ["JournalError", "RunJournal", "encode_blob", "decode_blob"]
 
@@ -81,6 +84,8 @@ class RunJournal:
         """Durably append one record; returns its sequence number."""
         if self._fh is None:
             raise JournalError("journal is closed")
+        ob = obs.session()
+        started = time.monotonic() if ob is not None else 0.0
         seq = self._seq
         record = {"seq": seq, "type": rtype, "data": data,
                   "crc": _record_crc(seq, rtype, data)}
@@ -89,6 +94,11 @@ class RunJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._seq += 1
+        if ob is not None:
+            reg = ob.registry
+            reg.counter("durability.journal_appends").inc()
+            reg.histogram("durability.journal_append_s").observe(
+                time.monotonic() - started)
         return seq
 
     def close(self) -> None:

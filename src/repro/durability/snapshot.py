@@ -19,9 +19,12 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
+
+from .. import obs
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -216,12 +219,21 @@ class Checkpointer:
 
     def save(self, checkpoint: SimCheckpoint) -> None:
         """Record (and, when configured, persist) a checkpoint."""
+        # Registry-only instrumentation: this can run on the watchdog
+        # thread, and the tracer's span stack is main-thread-only.
+        ob = obs.session()
+        started = time.monotonic() if ob is not None else 0.0
         self.latest = checkpoint
         self.saves += 1
         if self.path is not None:
             checkpoint.save(self.path)
         if self.sink is not None:
             self.sink(checkpoint)
+        if ob is not None:
+            reg = ob.registry
+            reg.counter("durability.checkpoint_saves").inc()
+            reg.histogram("durability.checkpoint_save_s").observe(
+                time.monotonic() - started)
 
     def flush(self) -> None:
         """Persist :attr:`latest` now (watchdog / stall path)."""

@@ -37,6 +37,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from .. import obs
 from ..battery.pack import BatteryPack, BigLittlePack
 from ..battery.switch import BatterySelection
 from ..device.phone import DemandSlice, Phone
@@ -142,6 +143,9 @@ class SensorGuard:
             self._last_time = now_s
             return value
         self.rejected += 1
+        ob = obs.session()
+        if ob is not None:
+            ob.registry.counter("supervisor.sensor_rejects").inc()
         if not self._bad:
             self.log.record_fault(
                 now_s, f"sensor:{self.name}", "implausible-reading",
@@ -235,6 +239,9 @@ class Supervisor:
         before = self.mode
         self._switch_ok = ok
         self.mode_transitions += 1
+        ob = obs.session()
+        if ob is not None:
+            ob.registry.counter("supervisor.mode_transitions").inc()
         if ok:
             self.log.record_recovery(now_s, "supervisor",
                                      f"mode-exit:{before}", detail)
@@ -248,6 +255,9 @@ class Supervisor:
         before = self.mode
         self._tec_ok = ok
         self.mode_transitions += 1
+        ob = obs.session()
+        if ob is not None:
+            ob.registry.counter("supervisor.mode_transitions").inc()
         if ok:
             self.log.record_recovery(now_s, "supervisor",
                                      f"mode-exit:{before}", detail)
@@ -291,6 +301,9 @@ class Supervisor:
                 self._set_switch_ok(True, now_s, "probe switch honoured")
             return
         self._switch_misses += 1
+        ob = obs.session()
+        if ob is not None:
+            ob.registry.counter("supervisor.switch_misses").inc()
         if self._switch_ok and self._switch_misses >= self.config.switch_retry_limit:
             self._set_switch_ok(
                 False, now_s,

@@ -1,0 +1,237 @@
+"""Observability spine: metrics registry, tracer, exporters.
+
+One switch controls everything::
+
+    from repro import obs
+
+    obs.configure(enabled=True)            # or exporter=JsonlExporter(...)
+    result = run_discharge_cycle(...)      # result.telemetry now populated
+    print(obs.session().summary())
+    obs.disable()
+
+Design rules (enforced by ``tests/test_obs_invisible.py``):
+
+* **Off by default, invisible when off.**  ``obs.session()`` returns
+  ``None`` unless configured; every instrumented call site hoists
+  ``ob = obs.session()`` once per phase and guards with
+  ``if ob is not None`` -- with obs disabled the hot step loop performs
+  zero registry/tracer calls and zero allocations attributable to this
+  package, and all simulation outputs are byte-identical to an
+  uninstrumented build.
+* **One registry per scope.**  :meth:`ObsSession.scope` pushes a fresh
+  :class:`MetricsRegistry`; instrumented code always writes to the
+  innermost scope.  On :meth:`MetricsScope.close` the scope's registry
+  folds into its parent (associative/commutative merge), so a sweep's
+  session-level aggregate equals the fold of its per-cell blobs
+  regardless of serial/parallel execution.
+* **Telemetry is out-of-band.**  Results carry their
+  :class:`RunTelemetry` on a ``compare=False`` field that the
+  differential harness strips via :func:`invisible_view`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .registry import (LATENCY_BUCKETS_S, Counter, Gauge, Histogram,
+                       MetricsRegistry)
+from .tracer import Span, SpanMark, Tracer
+from .telemetry import RunTelemetry, invisible_view
+from .export import (Exporter, InMemoryExporter, JsonlExporter, NullExporter,
+                     format_obs_table)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanMark",
+    "Tracer",
+    "RunTelemetry",
+    "invisible_view",
+    "Exporter",
+    "NullExporter",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "format_obs_table",
+    "ObsSession",
+    "MetricsScope",
+    "configure",
+    "disable",
+    "session",
+    "enabled",
+]
+
+
+class MetricsScope:
+    """One harvesting window: a fresh registry + a tracer mark.
+
+    Created by :meth:`ObsSession.scope`; while open, all instrumented
+    code writes into this scope's registry.  :meth:`telemetry` freezes
+    the scope's contents into a :class:`RunTelemetry`;
+    :meth:`close` folds the registry into the parent scope so
+    session-level totals still see everything.  Close is idempotent
+    and runs from a ``finally`` at every call site, so an exception
+    mid-cycle cannot leave the session's scope stack corrupted.
+    """
+
+    def __init__(self, obs_session: "ObsSession", kind: str,
+                 label: str) -> None:
+        self._session = obs_session
+        self.kind = kind
+        self.label = label
+        self.registry = MetricsRegistry()
+        self._mark: SpanMark = obs_session.tracer.mark()
+        self._closed = False
+        obs_session._registries.append(self.registry)
+
+    def telemetry(self) -> RunTelemetry:
+        """Freeze the scope's registry + span window into a blob."""
+        return RunTelemetry(
+            kind=self.kind,
+            label=self.label,
+            counters=self.registry.counter_values(),
+            gauges=self.registry.gauge_values(),
+            histograms=self.registry.histogram_dicts(),
+            spans=self._session.tracer.window(self._mark),
+        )
+
+    def close(self) -> None:
+        """Pop the scope and merge its registry into the parent."""
+        if self._closed:
+            return
+        self._closed = True
+        stack = self._session._registries
+        # Unwind through this scope; a mis-nested inner scope left open
+        # by an exception merges into its parent on the way out.
+        while len(stack) > 1:
+            popped = stack.pop()
+            stack[-1].merge(popped)
+            if popped is self.registry:
+                return
+        # Root registry (or already unwound): nothing to fold.
+
+    def __enter__(self) -> "MetricsScope":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ObsSession:
+    """The process-wide observability state while enabled.
+
+    Holds the exporter, the tracer, and a stack of registries whose
+    innermost element is where instruments write (:attr:`registry`).
+    The stack bottom is the session registry -- the all-time totals of
+    everything observed since :func:`configure`.
+    """
+
+    def __init__(self, exporter: Optional[Exporter] = None,
+                 max_spans: int = 50_000) -> None:
+        self.exporter: Exporter = exporter if exporter is not None \
+            else NullExporter()
+        self.tracer = Tracer(max_spans=max_spans,
+                             on_finish=self.exporter.export_span)
+        self._registries = [MetricsRegistry()]
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The innermost (write-target) registry."""
+        return self._registries[-1]
+
+    @property
+    def root_registry(self) -> MetricsRegistry:
+        """The session-lifetime aggregate registry."""
+        return self._registries[0]
+
+    def scope(self, kind: str, label: str = "") -> MetricsScope:
+        """Open a harvesting window (see :class:`MetricsScope`)."""
+        return MetricsScope(self, kind, label)
+
+    def export_telemetry(self, telemetry: RunTelemetry) -> None:
+        """Hand a harvested blob to the exporter."""
+        self.exporter.export_telemetry(telemetry)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable tables of the session-lifetime aggregates."""
+        reg = self.root_registry
+        parts = []
+        counters = reg.counter_values()
+        if counters:
+            parts.append(format_obs_table(
+                ("counter", "value"),
+                [(n, f"{v:g}") for n, v in sorted(counters.items())],
+                title="== counters =="))
+        gauges = reg.gauge_values()
+        if gauges:
+            parts.append(format_obs_table(
+                ("gauge", "value"),
+                [(n, f"{v:g}") for n, v in sorted(gauges.items())],
+                title="== gauges =="))
+        hists = reg._histograms
+        if hists:
+            parts.append(format_obs_table(
+                ("histogram", "count", "mean", "p50", "p99"),
+                [(n, h.count, f"{h.mean:.3g}", f"{h.quantile(0.5):.3g}",
+                  f"{h.quantile(0.99):.3g}")
+                 for n, h in sorted(hists.items())],
+                title="== histograms =="))
+        spans = self.tracer.window((0, 0))
+        if spans:
+            parts.append(format_obs_table(
+                ("span", "count", "total_s", "max_s"),
+                [(p, a["count"], f"{a['total_s']:.4f}", f"{a['max_s']:.4f}")
+                 for p, a in sorted(spans.items())],
+                title="== spans =="))
+        if self.tracer.dropped:
+            parts.append(f"({self.tracer.dropped} spans dropped over "
+                         f"the {self.tracer.max_spans}-span cap)")
+        return "\n\n".join(parts) if parts else "(no telemetry recorded)"
+
+
+#: The singleton session; ``None`` means observability is off and every
+#: instrumented call site takes its zero-cost branch.
+_SESSION: Optional[ObsSession] = None
+
+
+def configure(enabled: bool = True, exporter: Optional[Exporter] = None,
+              max_spans: int = 50_000) -> Optional[ObsSession]:
+    """Install (or tear down) the process-wide observability session.
+
+    Replaces any existing session; the old exporter is closed.  With
+    ``enabled=False`` this is :func:`disable`.
+    """
+    global _SESSION
+    if _SESSION is not None:
+        _SESSION.exporter.close()
+        _SESSION = None
+    if enabled:
+        _SESSION = ObsSession(exporter=exporter, max_spans=max_spans)
+    return _SESSION
+
+
+def disable() -> None:
+    """Turn observability off (the default state)."""
+    configure(enabled=False)
+
+
+def session() -> Optional[ObsSession]:
+    """The active session, or ``None`` when off.
+
+    Call sites hoist this once per phase::
+
+        ob = obs.session()
+        ...
+        if ob is not None:
+            ob.registry.counter("sim.steps").inc()
+    """
+    return _SESSION
+
+
+def enabled() -> bool:
+    return _SESSION is not None

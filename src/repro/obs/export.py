@@ -1,0 +1,125 @@
+"""Exporters: where finished spans and telemetry blobs go.
+
+Exporters are deliberately dumb sinks -- the session hands them
+finished :class:`~repro.obs.tracer.Span` records as they close and
+:class:`~repro.obs.telemetry.RunTelemetry` blobs as scopes are
+harvested; they never reach back into the registry.  Three are
+provided:
+
+* :class:`NullExporter`     -- drops everything (the enabled-but-quiet
+  mode the differential harness compares against);
+* :class:`InMemoryExporter` -- keeps everything on lists (tests);
+* :class:`JsonlExporter`    -- appends one JSON object per line to a
+  file, ``{"type": "span" | "telemetry", ...}``.
+
+This module imports only the stdlib: ``repro.obs`` sits below every
+other package in the import graph (``sim``/``core``/``faults``/
+``durability`` all import it), so it must not import them back.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from .tracer import Span
+from .telemetry import RunTelemetry
+
+__all__ = [
+    "Exporter",
+    "NullExporter",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "format_obs_table",
+]
+
+
+class Exporter:
+    """Base sink; both hooks default to no-ops."""
+
+    def export_span(self, span: Span) -> None:
+        pass
+
+    def export_telemetry(self, telemetry: RunTelemetry) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullExporter(Exporter):
+    """Accepts and discards everything."""
+
+
+class InMemoryExporter(Exporter):
+    """Retains spans and telemetry blobs for test assertions."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.telemetries: List[RunTelemetry] = []
+
+    def export_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def export_telemetry(self, telemetry: RunTelemetry) -> None:
+        self.telemetries.append(telemetry)
+
+
+class JsonlExporter(Exporter):
+    """One JSON object per line: spans as they finish, telemetry as
+    scopes are harvested.
+
+    The stream is line-buffered per record (``flush()`` after each
+    write) so a crashed run still leaves a readable prefix; records are
+    self-describing via their ``"type"`` field.
+    """
+
+    def __init__(self, path_or_stream: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_stream, str):
+            self._stream: IO[str] = open(path_or_stream, "a",
+                                         encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = path_or_stream
+            self._owns_stream = False
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True,
+                                      default=str) + "\n")
+        self._stream.flush()
+
+    def export_span(self, span: Span) -> None:
+        record = span.as_dict()
+        record["type"] = "span"
+        self._write(record)
+
+    def export_telemetry(self, telemetry: RunTelemetry) -> None:
+        record = telemetry.as_dict()
+        record["type"] = "telemetry"
+        self._write(record)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+def format_obs_table(headers: Sequence[str],
+                     rows: Sequence[Sequence[Any]],
+                     title: Optional[str] = None) -> str:
+    """Minimal fixed-width table (stdlib-only: ``repro.analysis`` has
+    a richer formatter but importing it here would close an import
+    cycle through ``repro.sim``)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            if len(c) > widths[i]:
+                widths[i] = len(c)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..device.profiles import NEXUS, PhoneProfile
 from ..faults.schedule import FaultSchedule, FaultTrigger, SensorFault, SwitchFault, TecFault
 from ..workload.traces import Trace
@@ -166,6 +167,10 @@ class ChaosReport:
 
     rows: List[ChaosRow]
     sweep: SweepResult
+    #: Observability blob of the underlying sweep (None unless obs is
+    #: enabled); out-of-band of the report, excluded from equality.
+    telemetry: Optional[obs.RunTelemetry] = field(
+        default=None, repr=False, compare=False)
 
     def row(self, policy: str, trace: str, scenario: str) -> ChaosRow:
         """The unique row for one grid point."""
@@ -255,4 +260,4 @@ def run_chaos(spec: ChaosSpec,
             fault_event_count=len(result.fault_events),
             final_mode=result.final_mode,
         ))
-    return ChaosReport(rows=rows, sweep=sweep)
+    return ChaosReport(rows=rows, sweep=sweep, telemetry=sweep.telemetry)

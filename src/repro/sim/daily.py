@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .. import obs
 from ..battery.aging import AgingModel, CellHealth
 from ..battery.cell import Cell
 from ..battery.charging import CCCVCharger
@@ -56,6 +57,10 @@ class MultiDayResult:
     step_count: int = 0
     #: Wall-clock time spent in the day cycles (s).
     wall_time_s: float = 0.0
+    #: Observability blob (populated only while ``obs`` is enabled);
+    #: out-of-band of the simulated outcome, excluded from equality.
+    telemetry: Optional[obs.RunTelemetry] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def first_day(self) -> DayRecord:
@@ -169,6 +174,15 @@ def run_days(
 
     result = MultiDayResult(policy_name=policy.name, workload_name=trace.name)
 
+    # Observability (default off; see repro.obs): one scope for the
+    # whole multi-day run, one span per simulated day.
+    ob = obs.session()
+    observing = ob is not None
+    if observing:
+        scope = ob.scope("daily", f"{policy.name}:{trace.name}")
+        daily_span = ob.tracer.start("daily", policy=policy.name,
+                                     trace=trace.name, n_days=n_days)
+
     durable = checkpointer is not None or resume_from is not None or budget is not None
     fingerprint = ""
     if durable:
@@ -210,47 +224,65 @@ def run_days(
         if budget is not None:
             budget.restart()
 
-    for day in range(start_day, n_days + 1):
-        if budget is not None:
-            reason = budget.exceeded(result.step_count)
-            if reason is not None:
-                ckpt = _make_checkpoint(day)
-                if checkpointer is not None:
-                    checkpointer.save(ckpt)
-                raise BudgetExceededError(reason, ckpt)
-        day_result: DischargeResult = run_discharge_cycle(
-            proxy, trace, profile=profile, control_dt=control_dt,
-            max_duration_s=max_cycle_s,
-        )
-        result.step_count += day_result.step_count
-        result.wall_time_s += day_result.wall_time_s
-        # Wear update: approximate per-cell throughput by each cell's
-        # energy share at the rail voltage; battery-bay temperature is
-        # derived from the recorded die temperature.
-        mean_temp = day_result.metrics.series("cpu_temp_c").mean() * 0.6 + 10.0
-        throughputs = _split_throughput(day_result, len(healths),
-                                        rail_v=profile.rail_voltage_v)
-        for health, through in zip(healths, throughputs):
-            mean_current = through / max(day_result.service_time_s, 1.0)
-            aging.record_cycle(health, through, mean_temp_c=mean_temp,
-                               mean_current_a=mean_current)
+    resumed_days = len(result.days)
+    try:
+        for day in range(start_day, n_days + 1):
+            if budget is not None:
+                reason = budget.exceeded(result.step_count)
+                if reason is not None:
+                    ckpt = _make_checkpoint(day)
+                    if checkpointer is not None:
+                        checkpointer.save(ckpt)
+                    raise BudgetExceededError(reason, ckpt)
+            if observing:
+                day_span = ob.tracer.start("day", day=day)
+            day_result: DischargeResult = run_discharge_cycle(
+                proxy, trace, profile=profile, control_dt=control_dt,
+                max_duration_s=max_cycle_s,
+            )
+            result.step_count += day_result.step_count
+            result.wall_time_s += day_result.wall_time_s
+            # Wear update: approximate per-cell throughput by each cell's
+            # energy share at the rail voltage; battery-bay temperature is
+            # derived from the recorded die temperature.
+            mean_temp = (day_result.metrics.series("cpu_temp_c").mean()
+                         * 0.6 + 10.0)
+            throughputs = _split_throughput(day_result, len(healths),
+                                            rail_v=profile.rail_voltage_v)
+            for health, through in zip(healths, throughputs):
+                mean_current = through / max(day_result.service_time_s, 1.0)
+                aging.record_cycle(health, through, mean_temp_c=mean_temp,
+                                   mean_current_a=mean_current)
 
-        charge_pack, _ = _aged_policy_pack(policy, healths)
-        for cell in charger.cells_of(charge_pack):
-            cell.drain_to(0.02 * cell.state_of_charge)  # arrives empty
-        charge_time = charger.charge_pack(charge_pack)
+            charge_pack, _ = _aged_policy_pack(policy, healths)
+            for cell in charger.cells_of(charge_pack):
+                cell.drain_to(0.02 * cell.state_of_charge)  # arrives empty
+            charge_time = charger.charge_pack(charge_pack)
 
-        result.days.append(DayRecord(
-            day=day,
-            service_time_s=day_result.service_time_s,
-            energy_delivered_j=day_result.energy_delivered_j,
-            charge_time_s=charge_time,
-            cell_health=tuple(h.health for h in healths),
-        ))
-        if checkpointer is not None:
-            checkpointer.save(_make_checkpoint(day + 1))
-        if any(h.end_of_life for h in healths):
-            break
+            result.days.append(DayRecord(
+                day=day,
+                service_time_s=day_result.service_time_s,
+                energy_delivered_j=day_result.energy_delivered_j,
+                charge_time_s=charge_time,
+                cell_health=tuple(h.health for h in healths),
+            ))
+            if observing:
+                day_span.finish()
+            if checkpointer is not None:
+                checkpointer.save(_make_checkpoint(day + 1))
+            if any(h.end_of_life for h in healths):
+                break
+    finally:
+        # Harvest in the finally so a budget abort still closes the
+        # scope; the tracer implicitly closes a day span the abort
+        # left open.
+        if observing:
+            daily_span.finish()
+            scope.registry.counter("daily.days").inc(
+                len(result.days) - resumed_days)
+            result.telemetry = scope.telemetry()
+            scope.close()
+            ob.export_telemetry(result.telemetry)
     return result
 
 

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..battery.pack import BatteryPack, BigLittlePack
 from ..battery.switch import BatterySelection
 from ..device.phone import DemandSlice, Phone, StepOutcome
@@ -156,6 +157,11 @@ class DischargeResult:
     final_mode: str = "normal"
     #: Degraded-mode transitions over the cycle.
     mode_transitions: int = 0
+    #: Observability blob (populated only while ``obs`` is enabled).
+    #: Out-of-band of the simulated outcome: excluded from equality and
+    #: repr, stripped by :func:`repro.obs.invisible_view`.
+    telemetry: Optional[obs.RunTelemetry] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def mean_power_w(self) -> float:
@@ -239,6 +245,17 @@ def run_discharge_cycle(
       deadline when the loop stops beating.
     """
     wall_start = time.perf_counter()
+    # Observability: hoist the session check to one local boolean so the
+    # disabled (default) path costs a single truth test per guard and
+    # performs zero registry/tracer calls in the step loop.
+    ob = obs.session()
+    observing = ob is not None
+    if observing:
+        scope = ob.scope("discharge", f"{policy.name}:{trace.name}")
+        cycle_span = ob.tracer.start("discharge", policy=policy.name,
+                                     trace=trace.name)
+        _obs_clock = time.monotonic
+        _obs_step = scope.registry.histogram("sim.step_wall_s").observe
     pack = policy.build_pack()
     phone = Phone(profile=profile, pack=pack, ambient_c=ambient_c)
     thermostat = ThermostatController(threshold_c=tec_threshold_c)
@@ -311,6 +328,7 @@ def run_discharge_cycle(
         step_index = saved["step_index"]
         if budget is not None:
             budget.restart()  # fresh wall budget; steps carry over
+    resume_step0 = step_index
 
     # Hot-loop hoists: bind per-step callables and constants once.  A
     # day-long trace at 1 s steps runs this loop ~10^5 times, and the
@@ -353,8 +371,11 @@ def run_discharge_cycle(
             retire_on_stall(checkpointer, threading.get_ident(),
                             label=f"cycle[{policy.name}]")).start()
 
+    telemetry: Optional[obs.RunTelemetry] = None
     try:
         for step in steps:
+            if observing:
+                _step_t0 = _obs_clock()
             # Durability hooks live at the top of the step, where the
             # state is consistent (== the end of the previous step).
             poll_deadline()
@@ -414,6 +435,8 @@ def run_discharge_cycle(
                 hot_time += step.dt
 
             step_index += 1
+            if observing:
+                _obs_step(_obs_clock() - _step_t0)
             if step_index % record_every == 0:
                 t = step.start_s + step.dt
                 record("soc", t, pack.state_of_charge)
@@ -432,6 +455,20 @@ def run_discharge_cycle(
     finally:
         if watchdog is not None:
             watchdog.stop()
+        # Harvest telemetry in the finally so a budget/deadline abort
+        # still closes the scope (keeping the session stack sound) and
+        # the success path below sees ``telemetry`` already bound.
+        if observing:
+            cycle_span.annotate(steps=step_index)
+            cycle_span.finish()
+            reg = scope.registry
+            reg.counter("sim.steps").inc(step_index - resume_step0)
+            if brownouts:
+                reg.counter("sim.brownouts").inc(brownouts)
+            reg.gauge("sim.max_cpu_temp_c").set(max_temp)
+            telemetry = scope.telemetry()
+            scope.close()
+            ob.export_telemetry(telemetry)
 
     switch_count = pack.switch.switch_count if dual else 0
     tec: TECUnit = phone.tec
@@ -462,6 +499,7 @@ def run_discharge_cycle(
         fault_events=fault_events,
         final_mode=final_mode,
         mode_transitions=mode_transitions,
+        telemetry=telemetry,
     )
 
 

@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 import numpy as np
 
+from .. import obs
 from ..device.profiles import NEXUS, PhoneProfile
 from ..durability.deadline import DeadlineExceededError, thread_deadline
 from ..durability.journal import JournalError, RunJournal, decode_blob, encode_blob
@@ -428,6 +429,12 @@ class SweepResult:
     cells: List[ScenarioCell]
     results: List[CellOutcome]
     stats: SimStats
+    #: Merged observability blob of the whole sweep (None unless obs
+    #: is enabled): the runner's own counters plus the fold of every
+    #: computed cell's telemetry, identical totals for any worker
+    #: count.  Out-of-band of the results -- excluded from equality.
+    telemetry: Optional[obs.RunTelemetry] = field(
+        default=None, repr=False, compare=False)
 
     def __iter__(self) -> Iterator[Tuple[ScenarioCell, CellOutcome]]:
         return iter(zip(self.cells, self.results))
@@ -605,6 +612,7 @@ def _timed_cell(
     cell: ScenarioCell, timeout_s: Optional[float] = None,
     ckpt_path: Optional[str] = None, ckpt_every: int = 0,
     stall_timeout_s: Optional[float] = None,
+    obs_enabled: bool = False,
 ) -> Tuple[int, CellOutcome, float, int]:
     """(index, outcome, compute seconds, steps) for one cell.
 
@@ -614,25 +622,45 @@ def _timed_cell(
     An exception inside the cell (including a timeout) is captured as a
     :class:`CellFailure` instead of propagating -- one broken scenario
     must not abort the grid.
+
+    ``obs_enabled`` propagates the parent's observability switch into
+    pool workers: a worker with no session of its own configures a
+    local null-exporter session so the cell's telemetry is harvested
+    onto the result (which rides back over the existing result
+    channel) and tears it down afterwards, keeping the pooled process
+    clean for the next cell.
     """
+    local_obs = False
+    if obs_enabled and obs.session() is None:
+        obs.configure(enabled=True)
+        local_obs = True
+    ob = obs.session()
+    cell_span = (ob.tracer.start("cell", label=cell.label)
+                 if ob is not None else None)
     started = time.perf_counter()
     try:
-        result: CellOutcome = _execute_with_timeout(
-            cell, timeout_s, ckpt_path, ckpt_every, stall_timeout_s)
-    except Exception as exc:
+        try:
+            result: CellOutcome = _execute_with_timeout(
+                cell, timeout_s, ckpt_path, ckpt_every, stall_timeout_s)
+        except Exception as exc:
+            elapsed = time.perf_counter() - started
+            failure = CellFailure(
+                label=cell.label,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+            )
+            return cell.index, failure, elapsed, 0
         elapsed = time.perf_counter() - started
-        failure = CellFailure(
-            label=cell.label,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            traceback=traceback_module.format_exc(),
-        )
-        return cell.index, failure, elapsed, 0
-    elapsed = time.perf_counter() - started
-    steps = int(getattr(result, "step_count", 0))
-    if hasattr(result, "wall_time_s"):
-        result.wall_time_s = 0.0
-    return cell.index, result, elapsed, steps
+        steps = int(getattr(result, "step_count", 0))
+        if hasattr(result, "wall_time_s"):
+            result.wall_time_s = 0.0
+        return cell.index, result, elapsed, steps
+    finally:
+        if cell_span is not None:
+            cell_span.finish()
+        if local_obs:
+            obs.disable()
 
 
 class ScenarioRunner:
@@ -788,102 +816,153 @@ class ScenarioRunner:
         run_started = time.perf_counter()
         stats = SimStats(workers=self.workers)
 
-        expand_started = time.perf_counter()
-        cells = spec.expand()
-        stats.cells_total = len(cells)
-        keys: List[Optional[str]] = [None] * len(cells)
-        if self.cache is not None or journal is not None:
-            if salt is None:
-                salt = self._salt if self._salt is not None else code_salt()
-            keys = [cell_key(cell, salt) for cell in cells]
-        stats.expand_wall_s = time.perf_counter() - expand_started
+        # Observability (default off).  One scope spans the sweep;
+        # serially computed cells nest their cycle scopes inside it,
+        # while remote/resumed cells ship their blobs back on the
+        # results and are folded in below -- the merged totals are
+        # identical for any worker count.
+        ob = obs.session()
+        observing = ob is not None
+        if observing:
+            scope = ob.scope("sweep", spec.kind)
+            sweep_span = ob.tracer.start("sweep", kind=spec.kind,
+                                         cells=len(spec))
+        remote_blobs: List[obs.RunTelemetry] = []
+        telemetry: Optional[obs.RunTelemetry] = None
 
-        results: List[Optional[CellResult]] = [None] * len(cells)
-        pending: List[ScenarioCell] = []
-        cache_started = time.perf_counter()
-        for cell in cells:
-            if cell.index in committed:
-                # Journalled and durable: the recorded result is the
-                # result -- recomputing it is exactly what the
-                # write-ahead log exists to prevent.
-                results[cell.index] = committed[cell.index]
-                stats.cells_resumed += 1
-                continue
-            if self.cache is not None:
-                hit = self.cache.get(keys[cell.index])  # type: ignore[arg-type]
-                if hit is not None:
-                    results[cell.index] = hit
-                    stats.cache_hits += 1
+        try:
+            expand_started = time.perf_counter()
+            cells = spec.expand()
+            stats.cells_total = len(cells)
+            keys: List[Optional[str]] = [None] * len(cells)
+            if self.cache is not None or journal is not None:
+                if salt is None:
+                    salt = self._salt if self._salt is not None else code_salt()
+                keys = [cell_key(cell, salt) for cell in cells]
+            stats.expand_wall_s = time.perf_counter() - expand_started
+
+            results: List[Optional[CellResult]] = [None] * len(cells)
+            pending: List[ScenarioCell] = []
+            cache_started = time.perf_counter()
+            for cell in cells:
+                if cell.index in committed:
+                    # Journalled and durable: the recorded result is the
+                    # result -- recomputing it is exactly what the
+                    # write-ahead log exists to prevent.
+                    results[cell.index] = committed[cell.index]
+                    stats.cells_resumed += 1
+                    if observing:
+                        blob = getattr(committed[cell.index], "telemetry", None)
+                        if blob is not None:
+                            remote_blobs.append(blob)
                     continue
-                stats.cache_misses += 1
-            pending.append(cell)
-        if self.cache is not None:
-            stats.cache_wall_s += time.perf_counter() - cache_started
-
-        ckpts: Dict[int, str] = {}
-        if journal is not None and pending:
-            sidecar_dir = Path(str(journal.path) + ".d")
-            for cell in pending:
-                sidecar = sidecar_dir / f"cell-{keys[cell.index][:16]}.ckpt"  # type: ignore[index]
-                ckpts[cell.index] = str(sidecar)
-                if sidecar.exists():
-                    stats.cells_checkpoint_resumed += 1
-            for cell in pending:
-                journal.append("cell_start", {
-                    "index": cell.index,
-                    "key": keys[cell.index],
-                    "label": cell.label,
-                })
-
-        def _finalise(index: int, outcome: CellOutcome) -> None:
-            """Durably commit a final outcome as it lands.
-
-            Failures are deliberately not committed -- a resume retries
-            them -- and a committed cell's sidecar checkpoint is
-            deleted: the commit record supersedes it.
-            """
-            if journal is None or isinstance(outcome, CellFailure):
-                return
-            journal.append("cell_commit", {
-                "index": index,
-                "key": keys[index],
-                "result": encode_blob(pickle.dumps(outcome, protocol=4)),
-            })
-            sidecar = ckpts.get(index)
-            if sidecar is not None:
-                try:
-                    os.unlink(sidecar)
-                except OSError:
-                    pass
-
-        if pending:
-            if self.workers > 1 and len(pending) > 1:
-                computed = self._run_parallel(pending, stats, ckpts,
-                                              _finalise)
-            else:
-                computed = []
-                for cell in pending:
-                    item = _timed_cell(
-                        cell, self.cell_timeout_s, ckpts.get(cell.index),
-                        self.checkpoint_every_steps, self.stall_timeout_s)
-                    computed.append(item)
-                    _finalise(item[0], item[1])
-            for index, result, elapsed, steps in computed:
-                results[index] = result
-                stats.compute_wall_s += elapsed
-                stats.steps_total += steps
-                stats.cells_computed += 1
-                if isinstance(result, CellFailure):
-                    stats.cells_failed += 1
+                if self.cache is not None:
+                    hit = self.cache.get(keys[cell.index])  # type: ignore[arg-type]
+                    if hit is not None:
+                        results[cell.index] = hit
+                        stats.cache_hits += 1
+                        continue
+                    stats.cache_misses += 1
+                pending.append(cell)
             if self.cache is not None:
-                cache_started = time.perf_counter()
-                for index, result, _, _ in computed:
-                    if not isinstance(result, CellFailure):
-                        self.cache.put(keys[index], result)  # type: ignore[arg-type]
                 stats.cache_wall_s += time.perf_counter() - cache_started
 
-        stats.total_wall_s = time.perf_counter() - run_started
-        return SweepResult(cells=cells, results=list(results), stats=stats)  # type: ignore[arg-type]
+            ckpts: Dict[int, str] = {}
+            if journal is not None and pending:
+                sidecar_dir = Path(str(journal.path) + ".d")
+                for cell in pending:
+                    sidecar = sidecar_dir / f"cell-{keys[cell.index][:16]}.ckpt"  # type: ignore[index]
+                    ckpts[cell.index] = str(sidecar)
+                    if sidecar.exists():
+                        stats.cells_checkpoint_resumed += 1
+                for cell in pending:
+                    journal.append("cell_start", {
+                        "index": cell.index,
+                        "key": keys[cell.index],
+                        "label": cell.label,
+                    })
+
+            def _finalise(index: int, outcome: CellOutcome) -> None:
+                """Durably commit a final outcome as it lands.
+
+                Failures are deliberately not committed -- a resume retries
+                them -- and a committed cell's sidecar checkpoint is
+                deleted: the commit record supersedes it.
+                """
+                if journal is None or isinstance(outcome, CellFailure):
+                    return
+                journal.append("cell_commit", {
+                    "index": index,
+                    "key": keys[index],
+                    "result": encode_blob(pickle.dumps(outcome, protocol=4)),
+                })
+                sidecar = ckpts.get(index)
+                if sidecar is not None:
+                    try:
+                        os.unlink(sidecar)
+                    except OSError:
+                        pass
+
+            if pending:
+                parallel = self.workers > 1 and len(pending) > 1
+                if parallel:
+                    computed = self._run_parallel(pending, stats, ckpts,
+                                                  _finalise)
+                else:
+                    computed = []
+                    for cell in pending:
+                        item = _timed_cell(
+                            cell, self.cell_timeout_s, ckpts.get(cell.index),
+                            self.checkpoint_every_steps, self.stall_timeout_s)
+                        computed.append(item)
+                        _finalise(item[0], item[1])
+                for index, result, elapsed, steps in computed:
+                    results[index] = result
+                    stats.compute_wall_s += elapsed
+                    stats.steps_total += steps
+                    stats.cells_computed += 1
+                    if isinstance(result, CellFailure):
+                        stats.cells_failed += 1
+                    if observing and parallel:
+                        # Serially computed cells already merged their
+                        # cycle scopes into the sweep scope in-process;
+                        # remote cells ship their blobs on the result.
+                        blob = getattr(result, "telemetry", None)
+                        if blob is not None:
+                            remote_blobs.append(blob)
+                if self.cache is not None:
+                    cache_started = time.perf_counter()
+                    for index, result, _, _ in computed:
+                        if not isinstance(result, CellFailure):
+                            # Telemetry is run-local observability, not
+                            # simulated outcome: cache entries are stored
+                            # without it so a later (possibly obs-off) run
+                            # never replays another run's counters.
+                            if getattr(result, "telemetry", None) is not None:
+                                result = dataclasses.replace(result,
+                                                             telemetry=None)
+                            self.cache.put(keys[index], result)  # type: ignore[arg-type]
+                    stats.cache_wall_s += time.perf_counter() - cache_started
+
+            stats.total_wall_s = time.perf_counter() - run_started
+        finally:
+            # Harvest in the finally so an aborted sweep (journal error,
+            # keyboard interrupt) still closes the scope and keeps the
+            # session's scope stack sound.
+            if observing:
+                sweep_span.finish()
+                reg = scope.registry
+                for name, value in stats.as_dict().items():
+                    if name in ("workers", "steps_per_sec"):
+                        continue
+                    reg.counter(f"sweep.{name}").inc(value)
+                telemetry = scope.telemetry()
+                for blob in remote_blobs:
+                    telemetry = telemetry.merge(blob)
+                scope.close()
+                ob.export_telemetry(telemetry)
+        return SweepResult(cells=cells, results=list(results), stats=stats,  # type: ignore[arg-type]
+                           telemetry=telemetry)
 
     # ------------------------------------------------------------------
     def _run_parallel(
@@ -905,6 +984,9 @@ class ScenarioRunner:
         outcomes: Dict[int, Tuple[int, CellOutcome, float, int]] = {}
         attempts: Dict[int, int] = {cell.index: 0 for cell in pending}
         ckpts = ckpts or {}
+        # Propagate the parent's observability switch into workers so
+        # each cell harvests its telemetry onto the returned result.
+        obs_on = obs.enabled()
         todo: List[ScenarioCell] = list(pending)
         isolate = False
         while todo:
@@ -917,7 +999,7 @@ class ScenarioRunner:
                         (pool.submit(_timed_cell, cell, self.cell_timeout_s,
                                      ckpts.get(cell.index),
                                      self.checkpoint_every_steps,
-                                     self.stall_timeout_s),
+                                     self.stall_timeout_s, obs_on),
                          cell)
                         for cell in group
                     ]

@@ -8,12 +8,25 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.battery.cell import Cell
 from repro.battery.chemistry import LMO, NCA
 from repro.battery.pack import BigLittlePack
 from repro.core.mdp import random_mdp
 from repro.workload.generators import VideoWorkload
 from repro.workload.traces import Trace, record_trace
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Observability must never leak between tests.
+
+    Every test starts and ends with the process-wide obs session torn
+    down; tests that want telemetry call ``obs.configure`` themselves.
+    """
+    obs.disable()
+    yield
+    obs.disable()
 
 
 @pytest.fixture

@@ -1,0 +1,439 @@
+"""Unit tests for the observability spine (``repro.obs``).
+
+Covers the registry instruments, the tracer's span hierarchy and
+window aggregation, the exporters, the session/scope machinery and
+the monotonic-clock contract (telemetry survives a wall-clock step
+backwards).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import LATENCY_BUCKETS_S, Counter, Gauge, Histogram
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_starts_at_zero_and_adds(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_raises(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("x")
+        g.set(4.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+    def test_unset_gauge_excluded_from_registry_view(self):
+        reg = obs.MetricsRegistry()
+        reg.gauge("silent")
+        reg.gauge("spoken").set(1.0)
+        assert reg.gauge_values() == {"spoken": 1.0}
+
+
+class TestHistogram:
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=())
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=(2.0, 1.0))
+
+    def test_bucketing_boundary_inclusive(self):
+        h = Histogram("x", boundaries=(1.0, 10.0))
+        h.observe(0.5)   # <= 1.0 -> bucket 0
+        h.observe(1.0)   # == boundary -> bucket 0
+        h.observe(5.0)   # <= 10.0 -> bucket 1
+        h.observe(10.0)  # == boundary -> bucket 1
+        h.observe(11.0)  # overflow
+        assert h.bucket_counts == (2, 2, 1)
+        assert h.count == 5
+        assert h.sum == pytest.approx(27.5)
+        assert h.mean == pytest.approx(5.5)
+
+    def test_quantiles(self):
+        h = Histogram("x", boundaries=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) <= 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_quantile_and_mean(self):
+        h = Histogram("x")
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_default_layout_is_the_latency_layout(self):
+        h = Histogram("x")
+        assert h.boundaries == LATENCY_BUCKETS_S
+
+    def test_as_dict_round_trips_through_merge(self):
+        h = Histogram("x", boundaries=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        parts = h.as_dict()
+        assert parts["count"] == 2
+        other = Histogram("x", boundaries=(1.0, 2.0))
+        other._merge_parts(parts["counts"], parts["sum"])
+        assert other.bucket_counts == h.bucket_counts
+        assert other.sum == h.sum
+
+
+class TestRegistry:
+    def test_instruments_are_interned(self):
+        reg = obs.MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_conflicting_histogram_layout_raises(self):
+        reg = obs.MetricsRegistry()
+        reg.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different"):
+            reg.histogram("h", boundaries=(1.0, 3.0))
+
+    def test_merge_semantics(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(5.0)
+        a.histogram("h", boundaries=(1.0,)).observe(0.5)
+        b.histogram("h", boundaries=(1.0,)).observe(2.0)
+        a.merge(b)
+        assert a.counter_values() == {"n": 5.0}
+        assert a.gauge_values() == {"g": 5.0}
+        assert a.histogram("h", boundaries=(1.0,)).bucket_counts == (1, 1)
+
+    def test_merge_layout_mismatch_raises(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.histogram("h", boundaries=(1.0,)).observe(0.5)
+        b.histogram("h", boundaries=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merged_classmethod(self):
+        regs = []
+        for amount in (1, 2, 3):
+            r = obs.MetricsRegistry()
+            r.counter("n").inc(amount)
+            regs.append(r)
+        assert obs.MetricsRegistry.merged(regs).counter_values() == {"n": 6.0}
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nested_paths(self):
+        tr = obs.Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        paths = ["/".join(s.path) for s in tr.finished]
+        assert paths == ["outer/inner", "outer"]
+
+    def test_durations_non_negative_and_ordered(self):
+        tr = obs.Tracer()
+        s = tr.start("a")
+        time.sleep(0.001)
+        span = s.finish()
+        assert span.duration_s >= 0.001
+
+    def test_finish_is_idempotent(self):
+        tr = obs.Tracer()
+        s = tr.start("a")
+        assert s.finish() is not None
+        assert s.finish() is None
+        assert len(tr.finished) == 1
+
+    def test_out_of_order_finish_unwinds_children(self):
+        tr = obs.Tracer()
+        outer = tr.start("outer")
+        tr.start("leaked-child")
+        outer.finish()  # child never finished explicitly
+        assert tr.depth == 0
+        assert [s.name for s in tr.finished] == ["outer"]
+
+    def test_span_cap_counts_drops(self):
+        tr = obs.Tracer(max_spans=2)
+        for i in range(4):
+            tr.start(f"s{i}").finish()
+        assert len(tr.finished) == 2
+        assert tr.dropped == 2
+
+    def test_on_finish_hook(self):
+        seen = []
+        tr = obs.Tracer(on_finish=seen.append)
+        tr.start("a").finish()
+        assert [s.name for s in seen] == ["a"]
+
+    def test_annotate(self):
+        tr = obs.Tracer()
+        s = tr.start("a", x=1)
+        s.annotate(y=2)
+        span = s.finish()
+        assert dict(span.attrs) == {"x": 1, "y": 2}
+
+    def test_window_relative_paths(self):
+        tr = obs.Tracer()
+        with tr.span("sweep"):
+            mark = tr.mark()
+            with tr.span("discharge"):
+                with tr.span("solve"):
+                    pass
+                with tr.span("solve"):
+                    pass
+            win = tr.window(mark)
+        assert set(win) == {"discharge", "discharge/solve"}
+        assert win["discharge/solve"]["count"] == 2
+        assert win["discharge/solve"]["max_s"] <= win["discharge"]["total_s"]
+
+    def test_window_from_root_sees_full_paths(self):
+        tr = obs.Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        win = tr.window((0, 0))
+        assert set(win) == {"a", "a/b"}
+
+
+class TestMonotonicContract:
+    def test_spans_survive_wall_clock_step_backwards(self, monkeypatch):
+        """A host whose wall clock steps backwards (NTP) must not
+        produce negative span durations: the tracer binds
+        ``time.monotonic`` at import and never reads ``time.time``."""
+        walltimes = iter([1e9, 1e9 - 3600.0, 1e9 - 7200.0, 0.0, 0.0, 0.0])
+        monkeypatch.setattr(time, "time", lambda: next(walltimes, 0.0))
+        tr = obs.Tracer()
+        with tr.span("outer"):
+            time.time()  # the wall clock "steps backwards" mid-span
+            with tr.span("inner"):
+                time.time()
+        assert all(s.duration_s >= 0.0 for s in tr.finished)
+
+    def test_no_wall_clock_timing_in_sim_sources(self):
+        """The audit satellite, pinned: no ``time.time()`` timing in
+        the simulator or profiler sources."""
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        offenders = []
+        for rel in ("sim", "capman", "obs", "core", "durability", "faults"):
+            for path in (root / rel).rglob("*.py"):
+                if "time.time()" in path.read_text():
+                    offenders.append(str(path))
+        assert offenders == []
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_in_memory_collects(self):
+        exp = obs.InMemoryExporter()
+        tr = obs.Tracer(on_finish=exp.export_span)
+        tr.start("a").finish()
+        exp.export_telemetry(obs.RunTelemetry(kind="k"))
+        assert [s.name for s in exp.spans] == ["a"]
+        assert [t.kind for t in exp.telemetries] == ["k"]
+
+    def test_jsonl_records_are_parseable(self):
+        stream = io.StringIO()
+        exp = obs.JsonlExporter(stream)
+        tr = obs.Tracer(on_finish=exp.export_span)
+        with tr.span("phase", device="Nexus"):
+            pass
+        exp.export_telemetry(obs.RunTelemetry(kind="discharge", label="x"))
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert [r["type"] for r in lines] == ["span", "telemetry"]
+        assert lines[0]["path"] == "phase"
+        assert lines[0]["attrs"] == {"device": "Nexus"}
+        assert lines[1]["kind"] == "discharge"
+
+    def test_jsonl_owns_file(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        exp = obs.JsonlExporter(str(path))
+        exp.export_telemetry(obs.RunTelemetry(kind="k"))
+        exp.close()
+        assert json.loads(path.read_text())["kind"] == "k"
+
+    def test_format_table(self):
+        text = obs.format_obs_table(("name", "v"), [("a", 1), ("bb", 22)],
+                                    title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[-1]
+
+
+# ----------------------------------------------------------------------
+# Session and scopes
+# ----------------------------------------------------------------------
+class TestSession:
+    def test_disabled_by_default(self):
+        assert obs.session() is None
+        assert not obs.enabled()
+
+    def test_configure_and_disable(self):
+        s = obs.configure(enabled=True)
+        assert obs.session() is s
+        assert obs.enabled()
+        obs.disable()
+        assert obs.session() is None
+
+    def test_configure_false_is_disable(self):
+        obs.configure(enabled=True)
+        assert obs.configure(enabled=False) is None
+        assert not obs.enabled()
+
+    def test_scope_isolates_then_merges_up(self):
+        s = obs.configure(enabled=True)
+        s.registry.counter("n").inc(1)
+        with s.scope("discharge", "cell-0") as scope:
+            assert s.registry is scope.registry
+            s.registry.counter("n").inc(5)
+            blob = scope.telemetry()
+        assert blob.counter("n") == 5          # scope sees only its own
+        assert s.root_registry.counter("n").value == 6  # folded on close
+
+    def test_scope_close_is_idempotent(self):
+        s = obs.configure(enabled=True)
+        scope = s.scope("x")
+        scope.close()
+        scope.close()
+        assert s.registry is s.root_registry
+
+    def test_exception_leaked_inner_scope_unwinds(self):
+        s = obs.configure(enabled=True)
+        outer = s.scope("outer")
+        inner = s.scope("inner")
+        inner.registry.counter("n").inc(3)
+        outer.close()  # inner never closed (e.g. exception path)
+        assert s.registry is s.root_registry
+        assert s.root_registry.counter("n").value == 3
+
+    def test_scope_telemetry_captures_spans_relative(self):
+        s = obs.configure(enabled=True)
+        with s.tracer.span("sweep"):
+            scope = s.scope("discharge", "c")
+            with s.tracer.span("discharge"):
+                pass
+            blob = scope.telemetry()
+            scope.close()
+        assert set(blob.spans) == {"discharge"}
+
+    def test_summary_lists_everything(self):
+        s = obs.configure(enabled=True)
+        s.registry.counter("sim.steps").inc(7)
+        s.registry.gauge("peak").set(42.0)
+        s.registry.histogram("lat").observe(1e-3)
+        with s.tracer.span("phase"):
+            pass
+        text = s.summary()
+        for needle in ("sim.steps", "peak", "lat", "phase", "7"):
+            assert needle in text
+
+    def test_summary_empty(self):
+        s = obs.configure(enabled=True)
+        assert "no telemetry" in s.summary()
+
+    def test_exporter_receives_harvested_telemetry(self):
+        exp = obs.InMemoryExporter()
+        s = obs.configure(enabled=True, exporter=exp)
+        scope = s.scope("discharge", "c")
+        blob = scope.telemetry()
+        scope.close()
+        s.export_telemetry(blob)
+        assert exp.telemetries == [blob]
+
+
+# ----------------------------------------------------------------------
+# RunTelemetry
+# ----------------------------------------------------------------------
+class TestRunTelemetry:
+    def test_merge_semantics(self):
+        a = obs.RunTelemetry(
+            kind="sweep", counters={"n": 2.0}, gauges={"g": 1.0},
+            histograms={"h": {"boundaries": [1.0], "counts": [1, 0],
+                              "count": 1, "sum": 0.5}},
+            spans={"p": {"count": 1, "total_s": 0.5, "max_s": 0.5}})
+        b = obs.RunTelemetry(
+            kind="discharge", counters={"n": 3.0, "m": 1.0},
+            gauges={"g": 4.0},
+            histograms={"h": {"boundaries": [1.0], "counts": [0, 2],
+                              "count": 2, "sum": 5.0}},
+            spans={"p": {"count": 2, "total_s": 1.0, "max_s": 0.8}})
+        m = a.merge(b)
+        assert m.kind == "sweep"  # receiver's identity wins
+        assert m.counters == {"n": 5.0, "m": 1.0}
+        assert m.gauges == {"g": 4.0}
+        assert m.histograms["h"]["counts"] == [1, 2]
+        assert m.histograms["h"]["sum"] == pytest.approx(5.5)
+        assert m.spans["p"] == {"count": 3, "total_s": 1.5, "max_s": 0.8}
+        # inputs untouched
+        assert a.counters == {"n": 2.0}
+
+    def test_merge_layout_mismatch_raises(self):
+        a = obs.RunTelemetry(histograms={"h": {"boundaries": [1.0],
+                                               "counts": [0, 0],
+                                               "count": 0, "sum": 0.0}})
+        b = obs.RunTelemetry(histograms={"h": {"boundaries": [2.0],
+                                               "counts": [0, 0],
+                                               "count": 0, "sum": 0.0}})
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merged_skips_none(self):
+        blobs = [obs.RunTelemetry(counters={"n": 1.0}), None,
+                 obs.RunTelemetry(counters={"n": 2.0})]
+        merged = obs.RunTelemetry.merged(blobs, kind="sweep")
+        assert merged.counter("n") == 3.0
+        assert merged.kind == "sweep"
+
+    def test_as_dict_is_json_clean(self):
+        blob = obs.RunTelemetry(kind="k", counters={"n": 1.0})
+        assert json.loads(json.dumps(blob.as_dict()))["counters"] == {"n": 1.0}
+
+
+class TestInvisibleView:
+    def test_strips_telemetry_and_wall_time(self):
+        from repro.sim.discharge import DischargeResult
+
+        result = DischargeResult(
+            policy_name="p", workload_name="w", service_time_s=1.0,
+            energy_delivered_j=2.0, switch_count=0, big_time_s=1.0,
+            little_time_s=0.0, tec_on_time_s=0.0, tec_energy_j=0.0,
+            max_cpu_temp_c=30.0, time_above_threshold_s=0.0,
+            wall_time_s=3.25, telemetry=obs.RunTelemetry(kind="discharge"))
+        view = obs.invisible_view(result)
+        assert view.telemetry is None
+        assert view.wall_time_s == 0.0
+        # the original is untouched; simulated fields survive
+        assert result.telemetry is not None
+        assert view.service_time_s == 1.0
