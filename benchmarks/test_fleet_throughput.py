@@ -1,0 +1,160 @@
+"""Fleet-engine throughput: batched device-steps/s vs the scalar loop.
+
+Runs a 4096-device fleet (Dual policy, 400 mAh, the eta-50% trace,
+profiles cycled across the three phones) through
+:class:`repro.fleet.FleetSimulator` and times the vectorised step loop,
+then times the scalar oracle (:func:`run_discharge_cycle`) on one
+device per distinct configuration to get the serial device-steps/s
+baseline.  The ``"fleet"`` section is merged into ``BENCH_sim.json``
+(alongside the sweep-engine section written by
+``test_sim_throughput.py``) for ``scripts/bench_gate.py``.
+
+Acceptance: at batch >= 1024 the fleet sustains at least ``50x`` the
+scalar per-device step rate, takes zero object-replay fallback steps
+on this (non-depleting) configuration, and its first rows remain
+bit-identical to their scalar twins -- the benchmark must measure the
+exact engine the differential suite certifies.
+
+Build/packing time is reported but excluded from the steps/s figure:
+a fleet is built once and stepped for hours, and the gate's exact
+``steps_total`` field already pins the amount of simulated work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.capman.baselines import DualPolicy
+from repro.device.profiles import PHONES
+from repro.fleet import DeviceSpec, FleetSpec
+from repro.sim.discharge import run_discharge_cycle
+from repro.workload.generators import EtaStaticWorkload
+from repro.workload.traces import record_trace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+BATCH = 4096
+CELL_MAH = 400.0
+WINDOW_S = 1800.0
+TRACE_S = 600.0
+CONTROL_DT = 2.0
+RECORD_EVERY = 50
+
+#: Minimum batched-vs-serial per-device step-rate ratio (the PR's
+#: acceptance floor; both sides are timed on the same host, so the
+#: ratio is far more machine-stable than either absolute rate).
+MIN_SPEEDUP = 50.0
+
+
+def _profiles():
+    return list(PHONES.values())
+
+
+def _device(trace, profile) -> DeviceSpec:
+    return DeviceSpec(
+        policy=DualPolicy(capacity_mah=CELL_MAH), trace=trace,
+        profile=profile, control_dt=CONTROL_DT, max_duration_s=WINDOW_S,
+        record_every=RECORD_EVERY)
+
+
+def _frozen(result) -> bytes:
+    return pickle.dumps(
+        dataclasses.replace(result, wall_time_s=0.0, telemetry=None),
+        protocol=4)
+
+
+def _measure():
+    trace = record_trace(EtaStaticWorkload(0.5, seed=1), TRACE_S)
+    profiles = _profiles()
+    devices = [_device(trace, profiles[i % len(profiles)])
+               for i in range(BATCH)]
+
+    t0 = time.perf_counter()
+    sim = FleetSpec(devices).build()
+    build_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    results = sim.run()
+    run_wall = time.perf_counter() - t0
+
+    # Scalar baseline: one oracle run per distinct configuration.
+    scalar_steps = 0
+    scalar_wall = 0.0
+    scalar_results = []
+    for profile in profiles:
+        t0 = time.perf_counter()
+        ref = run_discharge_cycle(
+            DualPolicy(capacity_mah=CELL_MAH), trace, profile=profile,
+            control_dt=CONTROL_DT, max_duration_s=WINDOW_S,
+            record_every=RECORD_EVERY)
+        scalar_wall += time.perf_counter() - t0
+        scalar_steps += ref.step_count
+        scalar_results.append(ref)
+
+    return sim, results, scalar_results, build_wall, run_wall, \
+        scalar_steps, scalar_wall
+
+
+def test_fleet_throughput(benchmark):
+    sim, results, scalar_results, build_wall, run_wall, scalar_steps, \
+        scalar_wall = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    steps_total = sim.steps_total
+    fleet_rate = steps_total / max(run_wall, 1e-9)
+    scalar_rate = scalar_steps / max(scalar_wall, 1e-9)
+    speedup = fleet_rate / max(scalar_rate, 1e-9)
+
+    print()
+    print(format_table(
+        ["engine", "devices", "device-steps", "wall (s)", "steps/s"],
+        [
+            ["scalar (serial)", len(scalar_results), scalar_steps,
+             scalar_wall, scalar_rate],
+            ["fleet (batched)", BATCH, steps_total, run_wall, fleet_rate],
+        ],
+        title=f"Fleet engine -- batch {BATCH}, Dual @ {CELL_MAH:.0f} mAh, "
+              f"speedup {speedup:.1f}x (build {build_wall:.2f}s excluded)",
+    ))
+
+    fleet_section = {
+        "batch": BATCH,
+        "steps_total": steps_total,
+        "fallback_steps": sim.fallback_steps,
+        "device_steps_per_sec": fleet_rate,
+        "scalar_steps_per_sec": scalar_rate,
+        "speedup": speedup,
+        "build_wall_s": build_wall,
+        "run_wall_s": run_wall,
+    }
+    payload = {}
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text())
+    payload["fleet"] = fleet_section
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  merged fleet section into {BENCH_PATH}")
+
+    # The benchmark measures the certified engine: the first row of
+    # each distinct configuration is bit-identical to its scalar twin.
+    for i, ref in enumerate(scalar_results):
+        assert _frozen(results[i]) == _frozen(ref), \
+            f"fleet row {i} diverged from scalar under benchmark config"
+
+    # This configuration never depletes, so the whole batch must stay
+    # on the vectorised path -- a fallback here is a perf regression.
+    assert sim.fallback_steps == 0, fleet_section
+
+    # Work accounting is exact: each device takes precisely the steps
+    # its scalar twin takes.
+    expected_steps = sum(
+        scalar_results[i % len(scalar_results)].step_count
+        for i in range(BATCH))
+    assert steps_total == expected_steps
+
+    # Acceptance floor: batched stepping is >= 50x serial per-device.
+    assert BATCH >= 1024
+    assert speedup >= MIN_SPEEDUP, fleet_section

@@ -1,25 +1,37 @@
 #!/usr/bin/env python
-"""Benchmark-regression gate over the sweep-engine throughput run.
+"""Benchmark-regression gate over the simulation throughput runs.
 
 Compares a freshly produced ``BENCH_sim.json`` (written by
-``benchmarks/test_sim_throughput.py``) against the committed baseline
+``benchmarks/test_sim_throughput.py`` and
+``benchmarks/test_fleet_throughput.py``) against the committed baseline
 ``benchmarks/baselines/BENCH_sim.baseline.json`` and fails -- nonzero
 exit, for CI -- on regression:
 
-* **Deterministic fields match exactly.**  The grid identity and the
+* **Deterministic fields match exactly.**  The grid identity, the
   serial run's step/cell accounting (``steps_total``, ``cells_total``,
-  ``cells_failed``) are machine-independent; any drift means the
-  benchmark is no longer measuring the same work and the baseline must
-  be consciously regenerated, not silently absorbed.
+  ``cells_failed``) and the fleet run's work accounting (``batch``,
+  ``steps_total``, ``fallback_steps``) are machine-independent; any
+  drift means a benchmark is no longer measuring the same work and the
+  baseline must be consciously regenerated, not silently absorbed.
 * **Throughput holds within a tolerance.**  The serial
-  ``steps_per_sec`` must stay above ``tolerance x baseline`` (default
-  0.5x, i.e. flag a 2x slowdown; CI machines are noisy, real hot-loop
-  regressions are much bigger than that).  Override with
-  ``--tolerance`` or the ``CAPMAN_BENCH_TOLERANCE`` env var.
+  ``steps_per_sec`` and the fleet ``device_steps_per_sec`` must stay
+  above ``tolerance x baseline`` (default 0.5x, i.e. flag a 2x
+  slowdown; CI machines are noisy, real hot-loop regressions are much
+  bigger than that).  Override with ``--tolerance`` or the
+  ``CAPMAN_BENCH_TOLERANCE`` env var.
+* **The fleet speedup floor is absolute.**  ``fleet.speedup`` (batched
+  vs serial device-steps/s, both timed on the same host) must stay at
+  or above ``FLEET_MIN_SPEEDUP`` regardless of tolerance -- it is the
+  PR-acceptance ratio, not a machine-dependent rate.
+
+A payload may carry either section alone (each benchmark merges its
+own section into ``BENCH_sim.json``); only sections present in the
+fresh payload are gated, and only gated sections land in the baseline.
 
 Regenerate the baseline after an intentional change with::
 
-    python -m pytest benchmarks/test_sim_throughput.py --benchmark-only -x -q -s
+    python -m pytest benchmarks/test_sim_throughput.py \
+        benchmarks/test_fleet_throughput.py --benchmark-only -x -q -s
     python scripts/bench_gate.py --write-baseline
 """
 
@@ -43,42 +55,101 @@ DEFAULT_TOLERANCE = 0.5
 EXACT_SERIAL_FIELDS = ("steps_total", "cells_total", "cells_computed",
                       "cells_failed")
 
+#: Machine-independent fleet-run fields gated by exact equality.
+EXACT_FLEET_FIELDS = ("batch", "steps_total", "fallback_steps")
+
+#: Absolute floor on the fleet's batched-vs-serial step-rate ratio.
+FLEET_MIN_SPEEDUP = 50.0
+
 
 def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
     """The gated subset of a ``BENCH_sim.json`` payload.
 
     Only this subset lands in the baseline file, so the committed
     baseline never churns on machine-dependent noise (wall times,
-    cpu_count, parallel speedups).
+    cpu_count, parallel speedups).  Each section (``serial`` sweep,
+    ``fleet`` batch) is optional; at least one must be present.
     """
-    serial = payload["serial"]
-    return {
-        "grid": payload["grid"],
-        "serial": {name: serial[name] for name in EXACT_SERIAL_FIELDS},
-        "steps_per_sec": serial["steps_per_sec"],
-    }
+    gated: Dict[str, Any] = {}
+    if "serial" in payload:
+        serial = payload["serial"]
+        gated["grid"] = payload["grid"]
+        gated["serial"] = {name: serial[name]
+                           for name in EXACT_SERIAL_FIELDS}
+        gated["steps_per_sec"] = serial["steps_per_sec"]
+    if "fleet" in payload:
+        fleet = payload["fleet"]
+        gated["fleet"] = {
+            **{name: fleet[name] for name in EXACT_FLEET_FIELDS},
+            "device_steps_per_sec": fleet["device_steps_per_sec"],
+            "speedup": fleet["speedup"],
+        }
+    if not gated:
+        raise KeyError("payload has neither a 'serial' nor a 'fleet' "
+                       "section; run the throughput benchmarks first")
+    return gated
 
 
 def compare(fresh: Dict[str, Any], baseline: Dict[str, Any],
             tolerance: float) -> List[str]:
-    """Human-readable regression descriptions (empty == gate passes)."""
+    """Human-readable regression descriptions (empty == gate passes).
+
+    Only sections present in the *fresh* payload are gated (a partial
+    benchmark run gates what it measured); a section present in fresh
+    but missing from the baseline is a hard failure -- regenerate the
+    baseline consciously.
+    """
     problems: List[str] = []
-    if fresh["grid"] != baseline["grid"]:
-        problems.append(
-            f"grid identity changed:\n  baseline: {baseline['grid']}\n"
-            f"  fresh:    {fresh['grid']}")
-    for name in EXACT_SERIAL_FIELDS:
-        got, want = fresh["serial"][name], baseline["serial"][name]
-        if got != want:
+    if "serial" in fresh:
+        if "serial" not in baseline:
+            problems.append("fresh payload has a serial section but the "
+                            "baseline does not; regenerate the baseline "
+                            "with --write-baseline")
+        else:
+            if fresh["grid"] != baseline["grid"]:
+                problems.append(
+                    f"grid identity changed:\n"
+                    f"  baseline: {baseline['grid']}\n"
+                    f"  fresh:    {fresh['grid']}")
+            for name in EXACT_SERIAL_FIELDS:
+                got, want = fresh["serial"][name], baseline["serial"][name]
+                if got != want:
+                    problems.append(
+                        f"serial.{name}: expected exactly {want}, got {got} "
+                        f"(deterministic field -- the benchmark's work "
+                        f"changed)")
+            floor = tolerance * baseline["steps_per_sec"]
+            if fresh["steps_per_sec"] < floor:
+                problems.append(
+                    f"throughput regression: serial steps_per_sec "
+                    f"{fresh['steps_per_sec']:.0f} < {floor:.0f} "
+                    f"({tolerance:g} x baseline "
+                    f"{baseline['steps_per_sec']:.0f})")
+    if "fleet" in fresh:
+        if "fleet" not in baseline:
+            problems.append("fresh payload has a fleet section but the "
+                            "baseline does not; regenerate the baseline "
+                            "with --write-baseline")
+        else:
+            for name in EXACT_FLEET_FIELDS:
+                got, want = fresh["fleet"][name], baseline["fleet"][name]
+                if got != want:
+                    problems.append(
+                        f"fleet.{name}: expected exactly {want}, got {got} "
+                        f"(deterministic field -- the benchmark's work "
+                        f"changed)")
+            floor = tolerance * baseline["fleet"]["device_steps_per_sec"]
+            if fresh["fleet"]["device_steps_per_sec"] < floor:
+                problems.append(
+                    f"throughput regression: fleet device_steps_per_sec "
+                    f"{fresh['fleet']['device_steps_per_sec']:.0f} < "
+                    f"{floor:.0f} ({tolerance:g} x baseline "
+                    f"{baseline['fleet']['device_steps_per_sec']:.0f})")
+        if fresh["fleet"]["speedup"] < FLEET_MIN_SPEEDUP:
             problems.append(
-                f"serial.{name}: expected exactly {want}, got {got} "
-                f"(deterministic field -- the benchmark's work changed)")
-    floor = tolerance * baseline["steps_per_sec"]
-    if fresh["steps_per_sec"] < floor:
-        problems.append(
-            f"throughput regression: serial steps_per_sec "
-            f"{fresh['steps_per_sec']:.0f} < {floor:.0f} "
-            f"({tolerance:g} x baseline {baseline['steps_per_sec']:.0f})")
+                f"fleet speedup collapse: {fresh['fleet']['speedup']:.1f}x "
+                f"< required {FLEET_MIN_SPEEDUP:g}x over the serial scalar "
+                f"loop (absolute floor, tolerance does not apply)")
     return problems
 
 
@@ -126,10 +197,19 @@ def main(argv: List[str]) -> int:
         for p in problems:
             print(f"  - {p}", file=sys.stderr)
         return 1
-    print(f"bench gate: OK (steps_total={fresh['serial']['steps_total']}, "
-          f"steps_per_sec={fresh['steps_per_sec']:.0f} >= "
-          f"{args.tolerance:g} x baseline "
-          f"{baseline['steps_per_sec']:.0f})")
+    summary = []
+    if "serial" in fresh:
+        summary.append(
+            f"serial steps_total={fresh['serial']['steps_total']} "
+            f"steps_per_sec={fresh['steps_per_sec']:.0f}")
+    if "fleet" in fresh:
+        summary.append(
+            f"fleet batch={fresh['fleet']['batch']} "
+            f"device_steps_per_sec="
+            f"{fresh['fleet']['device_steps_per_sec']:.0f} "
+            f"speedup={fresh['fleet']['speedup']:.1f}x")
+    print(f"bench gate: OK ({'; '.join(summary)}; "
+          f"tolerance {args.tolerance:g})")
     return 0
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..durability.state import pack_state, unpack_state
+from . import kinetics
 from .chemistry import Chemistry
 
 __all__ = ["Cell", "DrawResult", "CellEmptyError"]
@@ -119,7 +120,8 @@ class Cell:
     @property
     def state_of_charge(self) -> float:
         """Remaining fraction of rated charge in [0, 1]."""
-        return max(0.0, min(1.0, self.charge_amp_s / self.capacity_amp_s))
+        return kinetics.state_of_charge(
+            self._available, self._bound, self.capacity_amp_s)
 
     @property
     def depleted(self) -> bool:
@@ -141,22 +143,16 @@ class Cell:
         an exponential knee near empty, and a rise near full.  Scaled
         into the chemistry's [cutoff, full] voltage window.
         """
-        s = self.state_of_charge
         chem = self.chemistry
-        # Normalised curve in [0, 1]: knee below ~10% SoC, gentle slope after.
-        shape = 0.18 + 0.72 * s + 0.10 * s ** 4 - 0.18 * math.exp(-24.0 * s)
-        shape = max(0.0, min(1.0, shape))
-        return chem.cutoff_voltage + (chem.full_voltage - chem.cutoff_voltage) * shape
+        return kinetics.ocv(
+            self.state_of_charge, chem.cutoff_voltage, chem.full_voltage)
 
     def internal_resistance(self) -> float:
         """Ohmic resistance, temperature- and SoC-corrected (ohm)."""
         chem = self.chemistry
-        r = chem.internal_resistance
-        r *= 1.0 + chem.resistance_temp_coeff * (self.temperature_c - 25.0)
-        # Resistance climbs as the cell empties.
-        s = self.state_of_charge
-        r *= 1.0 + 0.8 * (1.0 - s) ** 2
-        return max(r, 1e-4)
+        return kinetics.internal_resistance(
+            self.state_of_charge, self.temperature_c,
+            chem.internal_resistance, chem.resistance_temp_coeff)
 
     def terminal_voltage(self, current_a: float = 0.0) -> float:
         """Terminal voltage under a given instantaneous current (V)."""
@@ -174,22 +170,15 @@ class Cell:
         exceeds the cell's maximum power point the current is clamped at
         the maximum-power current ``(OCV - vt) / (2R)``.
         """
-        if power_w <= 0:
-            return 0.0
         veff = self.open_circuit_voltage() - self._v_transient
-        r = self.internal_resistance()
-        disc = veff * veff - 4.0 * r * power_w
-        if disc < 0:
-            return veff / (2.0 * r)  # maximum deliverable power point
-        return (veff - math.sqrt(disc)) / (2.0 * r)
+        return kinetics.current_for_power(
+            power_w, veff, self.internal_resistance())
 
     def max_power_w(self) -> float:
         """Largest power the cell can source right now (W)."""
         veff = self.open_circuit_voltage() - self._v_transient
-        r = self.internal_resistance()
-        i_mpp = veff / (2.0 * r)
-        i = min(i_mpp, self.max_current)
-        return i * (veff - i * r)
+        return kinetics.max_power(
+            veff, self.internal_resistance(), self.max_current)
 
     # ------------------------------------------------------------------
     # Charge management
@@ -296,20 +285,14 @@ class Cell:
         ``k * y2 / (1 - c)``: declines as the cell empties, so late in
         a cycle even moderate draws become strained.
         """
-        c = self.chemistry.kibam_c
-        return self.chemistry.kibam_k * self._bound / (1.0 - c)
+        return kinetics.sustainable_current(
+            self._bound, self.chemistry.kibam_c, self.chemistry.kibam_k)
 
     def _rate_loss(self, current_a: float) -> float:
         """Extra loss fraction from drawing beyond the sustainable rate."""
-        from .chemistry import RATE_LOSS_CAP
-
-        if current_a <= 0.0:
-            return 0.0
-        i_sus = self.sustainable_current()
-        if i_sus <= 1e-12:
-            return RATE_LOSS_CAP
-        extra = self.chemistry.rate_loss_coeff * (current_a / i_sus) ** 2
-        return min(RATE_LOSS_CAP, extra)
+        return kinetics.rate_loss(
+            current_a, self.sustainable_current(),
+            self.chemistry.rate_loss_coeff)
 
     def _step_wells(self, current_a: float, dt: float) -> None:
         """Integrate the KiBaM two-well ODEs over ``dt``.
@@ -323,33 +306,18 @@ class Cell:
             return
         c = self.chemistry.kibam_c
         k = self.chemistry.kibam_k
-        # Stability: substep well below 1/k_eff.
-        k_eff = k * (1.0 / c + 1.0 / (1.0 - c))
-        max_sub = 0.2 / k_eff if k_eff > 0 else dt
-        steps = max(1, int(math.ceil(dt / max(max_sub, 1e-6))))
-        steps = min(steps, 10_000)
-        h = dt / steps
-        y1, y2 = self._available, self._bound
-        for _ in range(steps):
-            flow = k * (y2 / (1.0 - c) - y1 / c)
-            y1 += h * (-current_a + flow)
-            y2 += h * (-flow)
-            if y1 < 0.0:
-                # The well ran dry inside a substep; charge conservation
-                # is preserved by crediting the overshoot back to demand.
-                y1 = 0.0
-        self._available = y1
-        self._bound = max(0.0, y2)
+        steps = kinetics.well_substeps(dt, c, k)
+        self._available, self._bound = kinetics.step_wells(
+            self._available, self._bound, current_a, dt / steps, steps, c, k)
 
     def _step_transient(self, current_a: float, dt: float) -> None:
         """Relax the RC transient branch toward ``I * R1``."""
         r1, tau = self.chemistry.effective_transient()
-        target = current_a * r1
         if tau <= 0:
-            self._v_transient = target
+            self._v_transient = current_a * r1
             return
-        alpha = math.exp(-dt / tau)
-        self._v_transient = target + (self._v_transient - target) * alpha
+        self._v_transient = kinetics.step_transient(
+            self._v_transient, current_a, r1, kinetics.transient_alpha(dt, tau))
 
     def clone(self) -> "Cell":
         """Deep copy of the cell, preserving internal state."""

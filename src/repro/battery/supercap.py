@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..durability.state import pack_state, unpack_state
+from . import kinetics
 
 __all__ = ["Supercapacitor"]
 
@@ -74,30 +75,10 @@ class Supercapacitor:
             raise ValueError("dt must be positive")
         if demand_w < 0:
             raise ValueError("demand must be non-negative")
-        battery_w = demand_w
-        from_cap_j = 0.0
-        heat_j = 0.0
-        if demand_w > self.refill_power_w:
-            surplus_w = demand_w - self.refill_power_w
-            want_j = surplus_w * dt
-            usable_j = max(0.0, self.stored_energy_j - self._min_energy_j())
-            from_cap_j = min(want_j, usable_j)
-            if from_cap_j > 0:
-                # ESR loss proportional to throughput at the rail voltage.
-                i = from_cap_j / dt / max(self._voltage, 0.5)
-                heat_j = i * i * self.esr_ohm * dt
-                # ESR heat also comes out of the stored energy, but the
-                # rail floor is never violated.
-                floor = self._min_energy_j()
-                new_energy = max(floor, self.stored_energy_j - from_cap_j - heat_j)
-                self._set_energy(new_energy)
-            battery_w = demand_w - from_cap_j / dt
-        else:
-            refill_w = min(self.refill_power_w - demand_w, self._refill_rate_w())
-            if refill_w > 0 and self.headroom_j > 0:
-                add_j = min(refill_w * dt, self.headroom_j)
-                self._set_energy(self.stored_energy_j + add_j)
-                battery_w = demand_w + add_j / dt
+        battery_w, from_cap_j, heat_j, self._voltage = kinetics.supercap_smooth(
+            demand_w, dt, self._voltage,
+            self.capacitance_f, self.rated_voltage, self.esr_ohm,
+            self._refill_rate_w())
         return SmoothedDraw(battery_power_w=battery_w, capacitor_energy_j=from_cap_j,
                             heat_j=heat_j)
 

@@ -1,0 +1,28 @@
+"""Vectorised fleet simulation: N devices, one NumPy axis.
+
+Public surface::
+
+    spec = FleetSpec([DeviceSpec(policy, trace, profile), ...])
+    sim = spec.build()
+    results = sim.run()          # List[DischargeResult], scalar-identical
+
+The scalar engine (:func:`repro.sim.discharge.run_discharge_cycle`)
+remains the reference oracle: a fleet of one produces bit-for-bit the
+same :class:`~repro.sim.discharge.DischargeResult` (enforced by
+``tests/test_fleet_vs_scalar``).  Devices the batch path cannot model
+exactly raise :class:`UnsupportedDeviceError` at build time; use
+:func:`supports_policy` to route them to the scalar engine instead.
+"""
+
+from .simulator import FleetSimulator
+from .spec import DeviceSpec, FleetSpec, UnsupportedDeviceError, supports_policy
+from .state import FleetState
+
+__all__ = [
+    "DeviceSpec",
+    "FleetSpec",
+    "FleetSimulator",
+    "FleetState",
+    "UnsupportedDeviceError",
+    "supports_policy",
+]

@@ -1,0 +1,116 @@
+"""Per-step battery-choice drivers for the fleet batch.
+
+The scalar harness asks ``policy.decide_battery(ctx)`` once per control
+step.  The fleet splits the batch into driver groups:
+
+* :class:`VectorDualDriver` -- rows whose policy is *exactly*
+  :class:`~repro.capman.baselines.DualPolicy` (the common benchmark
+  case).  Its decision rule, ``LITTLE while soc_little > 0.02 else
+  BIG``, vectorises to a single ``np.where`` over the row mask.
+* :class:`ScalarPolicyAdapter` -- everything else.  Each row keeps its
+  own (pickle-cloned) policy instance; the adapter rebuilds the exact
+  :class:`~repro.sim.discharge.PolicyContext` the scalar loop would
+  have built -- all observations converted back to Python floats -- and
+  calls the real ``decide_battery``.  Stateful policies (CAPMAN's
+  profiler/MDP machinery) therefore follow trajectories identical to
+  their scalar twins.
+
+Choices are written into a shared ``(N,)`` int8 column:
+``CHOICE_NONE`` (-1, policy returned ``None``), ``CHOICE_BIG`` (0) or
+``CHOICE_LITTLE`` (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..battery.switch import BatterySelection
+from ..capman.baselines import DualPolicy
+from ..sim.discharge import PolicyContext, SchedulingPolicy
+
+__all__ = ["CHOICE_NONE", "CHOICE_BIG", "CHOICE_LITTLE",
+           "StepObservation", "VectorDualDriver", "ScalarPolicyAdapter",
+           "is_vectorisable"]
+
+CHOICE_NONE = np.int8(-1)
+CHOICE_BIG = np.int8(0)
+CHOICE_LITTLE = np.int8(1)
+
+
+def is_vectorisable(policy: SchedulingPolicy) -> bool:
+    """True when the policy has a closed-form vector decision rule.
+
+    Deliberately an exact-type check: a subclass may override
+    ``decide_battery`` and must fall back to the adapter.
+    """
+    return type(policy) is DualPolicy
+
+
+@dataclass
+class StepObservation:
+    """Read-only view of the batch handed to decision drivers."""
+
+    j: int                    #: lockstep global step index
+    run: np.ndarray           #: rows taking a step this tick
+    starts: np.ndarray        #: control-step start times (schedule clock)
+    dts: np.ndarray           #: control-step lengths
+    soc_big: np.ndarray
+    soc_little: np.ndarray
+    cpu_temp: np.ndarray
+    surf_temp: np.ndarray
+    active_big: np.ndarray    #: current switch position
+    base_w: np.ndarray        #: predicted demand power (the memo value)
+
+
+class VectorDualDriver:
+    """Vectorised ``DualPolicy.decide_battery`` over a row mask."""
+
+    def __init__(self, rows_mask: np.ndarray) -> None:
+        self.rows_mask = rows_mask
+
+    def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
+        """LITTLE while its SoC holds above 2%, then BIG -- every step."""
+        mask = self.rows_mask & obs.run
+        np.copyto(choices,
+                  np.where(obs.soc_little > 0.02, CHOICE_LITTLE, CHOICE_BIG),
+                  where=mask)
+
+
+class ScalarPolicyAdapter:
+    """Row-at-a-time fallback running the real policy objects."""
+
+    def __init__(self, entries: Sequence[Tuple[int, SchedulingPolicy,
+                                               "object"]]) -> None:
+        #: ``(row, policy, schedule)`` triples, one per adapted device.
+        self.entries: List[Tuple[int, SchedulingPolicy, object]] = \
+            list(entries)
+
+    def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
+        j = obs.j
+        for row, policy, sched in self.entries:
+            if not obs.run[row]:
+                continue
+            seg = sched.segments[int(sched.seg_of_step[j])]
+            ctx = PolicyContext(
+                now_s=float(obs.starts[row]),
+                demand=seg.demand,
+                syscall=sched.syscalls[j],
+                predicted_power_w=float(obs.base_w[row]),
+                cpu_temp_c=float(obs.cpu_temp[row]),
+                surface_temp_c=float(obs.surf_temp[row]),
+                soc_big=float(obs.soc_big[row]),
+                soc_little=float(obs.soc_little[row]),
+                active=(BatterySelection.BIG if obs.active_big[row]
+                        else BatterySelection.LITTLE),
+                segment_start=bool(sched.seg_start[j]),
+            )
+            choice = policy.decide_battery(ctx)
+            if choice is None:
+                choices[row] = CHOICE_NONE
+            elif choice is BatterySelection.BIG:
+                choices[row] = CHOICE_BIG
+            else:
+                choices[row] = CHOICE_LITTLE

@@ -1,0 +1,123 @@
+"""Struct-of-arrays state for a batch of simulated phones.
+
+One :class:`FleetState` holds every mutable quantity of ``N`` devices
+as ``(N,)`` NumPy arrays -- the device axis is the array axis.  The
+layout mirrors the scalar object graph field for field:
+
+========================  ============================================
+Array group               Scalar twin
+========================  ============================================
+``avail_*/bound_*``       :class:`repro.battery.cell.Cell` KiBaM wells
+``vtrans_*``              the cell's RC transient branch voltage
+``throughput_*``          the cell's cumulative throughput counter
+``cell_temp_c``           ``Cell.temperature_c`` (shared by both cells)
+``active_big`` et al.     :class:`repro.battery.switch.BatterySwitch`
+``supercap_v``            :class:`repro.battery.supercap.Supercapacitor`
+``tec_on`` et al.         :class:`repro.thermal.tec.TECUnit`
+``thermo_on``             the harness :class:`ThermostatController`
+``node_temps``            the 4-node RC thermal network temperatures
+``clock_s``               ``Phone.clock_s``
+accounting arrays         the local variables of ``run_discharge_cycle``
+========================  ============================================
+
+Suffix ``_b`` is the BIG cell, ``_l`` the LITTLE cell.  All floats are
+float64 so every element carries exactly the bits the scalar Python
+float would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["FleetState"]
+
+
+def _f(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.float64)
+
+
+def _b(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=bool)
+
+
+def _i(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.int64)
+
+
+@dataclass
+class FleetState:
+    """All mutable per-device state, one NumPy axis = one device."""
+
+    n: int
+
+    # --- KiBaM cells (big / little) -----------------------------------
+    avail_b: np.ndarray = None
+    bound_b: np.ndarray = None
+    vtrans_b: np.ndarray = None
+    throughput_b: np.ndarray = None
+    avail_l: np.ndarray = None
+    bound_l: np.ndarray = None
+    vtrans_l: np.ndarray = None
+    throughput_l: np.ndarray = None
+    #: Battery-bay temperature propagated to both cells (degC).
+    cell_temp_c: np.ndarray = None
+
+    # --- Battery switch -----------------------------------------------
+    active_big: np.ndarray = None
+    last_switch_s: np.ndarray = None
+    switch_events: np.ndarray = None
+    sw_energy_spent_j: np.ndarray = None
+    sw_heat_pending_j: np.ndarray = None
+    sw_energy_pending_j: np.ndarray = None
+
+    # --- Supercapacitor (LITTLE rail filter) --------------------------
+    supercap_v: np.ndarray = None
+
+    # --- TEC + thermostat ---------------------------------------------
+    tec_on: np.ndarray = None
+    tec_on_time_s: np.ndarray = None
+    tec_energy_j: np.ndarray = None
+    thermo_on: np.ndarray = None
+
+    # --- Thermal network node temperatures (cpu, battery, surface,
+    # ambient), one (N,) column per node --------------------------------
+    node_temps: List[np.ndarray] = field(default_factory=list)
+
+    # --- Device clock --------------------------------------------------
+    clock_s: np.ndarray = None
+
+    # --- Harness accounting (run_discharge_cycle locals) ---------------
+    alive: np.ndarray = None
+    energy_j: np.ndarray = None
+    big_time_s: np.ndarray = None
+    little_time_s: np.ndarray = None
+    hot_time_s: np.ndarray = None
+    max_temp_c: np.ndarray = None
+    brownouts: np.ndarray = None
+    steps_run: np.ndarray = None
+    service_time_s: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        n = self.n
+        for name in (
+            "avail_b", "bound_b", "vtrans_b", "throughput_b",
+            "avail_l", "bound_l", "vtrans_l", "throughput_l",
+            "cell_temp_c", "last_switch_s", "sw_energy_spent_j",
+            "sw_heat_pending_j", "sw_energy_pending_j", "supercap_v",
+            "tec_on_time_s", "tec_energy_j", "clock_s", "energy_j",
+            "big_time_s", "little_time_s", "hot_time_s", "max_temp_c",
+            "service_time_s",
+        ):
+            if getattr(self, name) is None:
+                setattr(self, name, _f(n))
+        for name in ("active_big", "tec_on", "thermo_on", "alive"):
+            if getattr(self, name) is None:
+                setattr(self, name, _b(n))
+        for name in ("switch_events", "brownouts", "steps_run"):
+            if getattr(self, name) is None:
+                setattr(self, name, _i(n))
+        if not self.node_temps:
+            self.node_temps = [_f(n) for _ in range(4)]

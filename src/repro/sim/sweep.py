@@ -663,6 +663,45 @@ def _timed_cell(
             obs.disable()
 
 
+def _fleet_cell_supported(cell: ScenarioCell) -> bool:
+    """Whether the fleet backend can batch this cell exactly."""
+    if cell.kind != "discharge" or cell.extra:
+        return False
+    from ..fleet import supports_policy
+
+    return supports_policy(cell.policy)
+
+
+def _run_fleet_batch(
+    cells: Sequence[ScenarioCell],
+) -> List[Tuple[int, CellOutcome, float, int]]:
+    """Run eligible cells as one vectorised batch.
+
+    Returns the same ``(index, outcome, seconds, steps)`` tuples as
+    :func:`_timed_cell`; the batch wall time is amortised evenly over
+    its cells so :class:`SimStats` totals stay meaningful.  Any batch
+    failure falls back to per-cell scalar execution -- batching is an
+    optimisation, never a new failure mode.
+    """
+    from ..fleet import DeviceSpec, FleetSpec
+
+    started = time.perf_counter()
+    try:
+        spec = FleetSpec([
+            DeviceSpec(policy=cell.policy, trace=cell.trace,
+                       profile=cell.profile, control_dt=cell.control_dt,
+                       max_duration_s=cell.max_duration_s,
+                       ambient_c=cell.ambient_c,
+                       record_every=cell.record_every)
+            for cell in cells])
+        results = spec.build().run()
+    except Exception:
+        return [_timed_cell(cell) for cell in cells]
+    elapsed = (time.perf_counter() - started) / len(cells)
+    return [(cell.index, result, elapsed, result.step_count)
+            for cell, result in zip(cells, results)]
+
+
 class ScenarioRunner:
     """Executes a :class:`SweepSpec` with optional fan-out and caching.
 
@@ -705,6 +744,14 @@ class ScenarioRunner:
         cells: a cell whose control loop stops beating for this long
         has its latest sidecar checkpoint flushed and is retired as a
         contained timeout failure.
+    backend:
+        ``"scalar"`` (default) runs every cell through the scalar
+        engine.  ``"fleet"`` batches eligible discharge cells (no
+        ``extra`` kwargs, fleet-supported policy) through
+        :class:`repro.fleet.FleetSimulator` -- results are bit-for-bit
+        the scalar ones, just computed as one vectorised batch.
+        Ineligible cells, journalled sweeps and observed sweeps fall
+        back to the scalar path automatically.
     """
 
     def __init__(
@@ -717,6 +764,7 @@ class ScenarioRunner:
         journal: Union[str, Path, None] = None,
         checkpoint_every_steps: int = 0,
         stall_timeout_s: Optional[float] = None,
+        backend: str = "scalar",
     ) -> None:
         if workers == 0:
             workers = os.cpu_count() or 1
@@ -734,6 +782,9 @@ class ScenarioRunner:
             raise ValueError("checkpoint_every_steps must be non-negative")
         self.checkpoint_every_steps = checkpoint_every_steps
         self.stall_timeout_s = stall_timeout_s
+        if backend not in ("scalar", "fleet"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
@@ -903,13 +954,29 @@ class ScenarioRunner:
                     except OSError:
                         pass
 
-            if pending:
+            # Peel off cells the vectorised fleet backend can batch.
+            # Journalled and observed sweeps keep the scalar path: the
+            # journal commits per cell as it lands, and telemetry is
+            # harvested per cycle scope -- neither exists batch-wise.
+            fleet_batch: List[ScenarioCell] = []
+            if (pending and self.backend == "fleet" and journal is None
+                    and not observing):
+                fleet_batch = [cell for cell in pending
+                               if _fleet_cell_supported(cell)]
+                if fleet_batch:
+                    taken = {cell.index for cell in fleet_batch}
+                    pending = [cell for cell in pending
+                               if cell.index not in taken]
+
+            if pending or fleet_batch:
+                computed: List[Tuple[int, CellOutcome, float, int]] = []
+                if fleet_batch:
+                    computed.extend(_run_fleet_batch(fleet_batch))
                 parallel = self.workers > 1 and len(pending) > 1
                 if parallel:
-                    computed = self._run_parallel(pending, stats, ckpts,
-                                                  _finalise)
+                    computed.extend(self._run_parallel(pending, stats, ckpts,
+                                                       _finalise))
                 else:
-                    computed = []
                     for cell in pending:
                         item = _timed_cell(
                             cell, self.cell_timeout_s, ckpts.get(cell.index),

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..durability.state import StateMismatchError, pack_state, unpack_state
+from .conduction import euler_conduction, stable_substep, substep_count
 
 __all__ = ["ThermalNode", "ThermalNetwork", "phone_thermal_network"]
 
@@ -120,18 +121,14 @@ class ThermalNetwork:
                     f"injection at {name!r} must be finite, got {power!r}")
 
         names, links, active, sub = self._compile()
-        steps = max(1, int(math.ceil(dt / sub)))
-        steps = min(steps, 100_000)
-        h = dt / steps
+        steps = substep_count(dt, sub)
         get = injections_w.get
-        for _ in range(steps):
-            flows = [get(name, 0.0) for name in names]
-            for ia, ib, node_a, node_b, g in links:
-                q = g * (node_a.temperature_c - node_b.temperature_c)
-                flows[ia] -= q
-                flows[ib] += q
-            for i, node in active:
-                node.temperature_c += h * flows[i] / node.heat_capacity
+        temps = euler_conduction(
+            [self._nodes[name].temperature_c for name in names],
+            [get(name, 0.0) for name in names],
+            links, active, steps, dt / steps)
+        for i, name in enumerate(names):
+            self._nodes[name].temperature_c = temps[i]
         return self.temperatures()
 
     def _compile(self) -> Tuple:
@@ -144,13 +141,17 @@ class ThermalNetwork:
         if self._compiled is None:
             names = list(self._nodes)
             index = {name: i for i, name in enumerate(names)}
-            links = [(index[a], index[b], self._nodes[a], self._nodes[b], g)
-                     for a, b, g in self._links]
-            active = [(index[name], node)
+            links = [(index[a], index[b], g) for a, b, g in self._links]
+            active = [(index[name], node.heat_capacity)
                       for name, node in self._nodes.items()
                       if not node.is_boundary]
             self._compiled = (names, links, active, self._stable_substep())
         return self._compiled
+
+    def compiled_topology(self) -> Tuple:
+        """``(names, index_links, active_pairs, stable_substep)`` for
+        callers that vectorise this network (the fleet batch path)."""
+        return self._compile()
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -179,18 +180,9 @@ class ThermalNetwork:
 
     def _stable_substep(self) -> float:
         """A timestep comfortably below the fastest RC constant."""
-        fastest = math.inf
-        total_g: Dict[str, float] = {name: 0.0 for name in self._nodes}
-        for a, b, g in self._links:
-            total_g[a] += g
-            total_g[b] += g
-        for name, node in self._nodes.items():
-            if node.is_boundary or total_g[name] == 0.0:
-                continue
-            fastest = min(fastest, node.heat_capacity / total_g[name])
-        if math.isinf(fastest):
-            return 1.0
-        return max(fastest * 0.25, 1e-3)
+        return stable_substep(
+            {name: node.heat_capacity for name, node in self._nodes.items()},
+            self._links)
 
 
 def phone_thermal_network(

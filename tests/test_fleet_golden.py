@@ -1,0 +1,134 @@
+"""Golden regression fixture for the fleet simulator.
+
+An 8-device heterogeneous batch (three policies, both profiles, two
+traces, three capacities) is run once and its summary statistics and a
+sample SoC trajectory frozen into ``tests/data/fleet_golden.npz``.
+The suite then replays the batch and compares against the fixture --
+catching silent numerical drift in either the fleet path or the shared
+physics kernels (the fleet is differentially pinned to the scalar
+oracle, so a drift here means *both* moved).
+
+Regenerate deliberately after an intentional physics change::
+
+    PYTHONPATH=src python tests/test_fleet_golden.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.capman.baselines import DualPolicy, HeuristicPolicy
+from repro.capman.controller import CapmanPolicy
+from repro.device.profiles import HONOR, NEXUS
+from repro.fleet import DeviceSpec, FleetSpec
+from repro.workload.generators import EtaStaticWorkload, VideoWorkload
+from repro.workload.traces import record_trace
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "fleet_golden.npz"
+
+CONTROL_DT = 2.0
+MAX_DURATION_S = 300.0
+
+
+def _build():
+    video = record_trace(VideoWorkload(seed=7), duration_s=120.0)
+    eta = record_trace(EtaStaticWorkload(0.5, seed=1), duration_s=120.0)
+    devices = [
+        DeviceSpec(policy=CapmanPolicy(capacity_mah=40.0), trace=video,
+                   profile=NEXUS, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=CapmanPolicy(capacity_mah=120.0), trace=video,
+                   profile=HONOR, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=DualPolicy(capacity_mah=40.0), trace=video,
+                   profile=NEXUS, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=DualPolicy(capacity_mah=120.0), trace=eta,
+                   profile=HONOR, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=HeuristicPolicy(capacity_mah=120.0), trace=video,
+                   profile=NEXUS, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=HeuristicPolicy(capacity_mah=400.0), trace=eta,
+                   profile=HONOR, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=CapmanPolicy(capacity_mah=400.0), trace=eta,
+                   profile=NEXUS, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=DualPolicy(capacity_mah=400.0), trace=video,
+                   profile=HONOR, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+    ]
+    return FleetSpec(devices)
+
+
+def _payload() -> dict:
+    sim = _build().build()
+    results = sim.run()
+    as_vec = lambda attr: np.array([getattr(r, attr) for r in results])
+    soc0 = results[0].metrics.series("soc")
+    return {
+        "service_time_s": as_vec("service_time_s"),
+        "energy_delivered_j": as_vec("energy_delivered_j"),
+        "switch_count": as_vec("switch_count").astype(np.int64),
+        "step_count": as_vec("step_count").astype(np.int64),
+        "max_cpu_temp_c": as_vec("max_cpu_temp_c"),
+        "time_above_threshold_s": as_vec("time_above_threshold_s"),
+        "big_time_s": as_vec("big_time_s"),
+        "little_time_s": as_vec("little_time_s"),
+        "tec_on_time_s": as_vec("tec_on_time_s"),
+        "tec_energy_j": as_vec("tec_energy_j"),
+        "final_avail_b": sim.state.avail_b.copy(),
+        "final_avail_l": sim.state.avail_l.copy(),
+        "final_cpu_temp_c": sim.state.node_temps[0].copy(),
+        "soc0_times": np.asarray(soc0.times, dtype=np.float64),
+        "soc0_values": np.asarray(soc0.values, dtype=np.float64),
+    }
+
+
+class TestFleetGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        assert GOLDEN.exists(), (
+            "golden fixture missing; regenerate with "
+            "`PYTHONPATH=src python tests/test_fleet_golden.py`")
+        with np.load(GOLDEN) as data:
+            yield {key: data[key] for key in data.files}
+
+    @pytest.fixture(scope="class")
+    def fresh(self):
+        return _payload()
+
+    def test_fixture_covers_every_key(self, golden, fresh):
+        assert sorted(golden) == sorted(fresh)
+
+    @pytest.mark.parametrize("key", [
+        "service_time_s", "energy_delivered_j", "max_cpu_temp_c",
+        "time_above_threshold_s", "big_time_s", "little_time_s",
+        "tec_on_time_s", "tec_energy_j", "final_avail_b", "final_avail_l",
+        "final_cpu_temp_c", "soc0_times", "soc0_values",
+    ])
+    def test_float_fields_match(self, golden, fresh, key):
+        np.testing.assert_allclose(fresh[key], golden[key], atol=1e-8,
+                                   err_msg=key)
+
+    @pytest.mark.parametrize("key", ["switch_count", "step_count"])
+    def test_integer_fields_match_exactly(self, golden, fresh, key):
+        np.testing.assert_array_equal(fresh[key], golden[key], err_msg=key)
+
+    def test_batch_shape(self, golden):
+        assert golden["service_time_s"].shape == (8,)
+        assert golden["step_count"].sum() > 0
+
+
+def _regenerate() -> None:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(GOLDEN, **_payload())
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    _regenerate()
