@@ -9,20 +9,23 @@ exit, for CI -- on regression:
 
 * **Deterministic fields match exactly.**  The grid identity, the
   serial run's step/cell accounting (``steps_total``, ``cells_total``,
-  ``cells_failed``) and the fleet run's work accounting (``batch``,
-  ``steps_total``, ``fallback_steps``) are machine-independent; any
-  drift means a benchmark is no longer measuring the same work and the
-  baseline must be consciously regenerated, not silently absorbed.
+  ``cells_failed``) and each fleet leg's work accounting (``batch``,
+  ``steps_total``, ``fallback_steps``, and for the CAPMAN leg also
+  ``adapter_rows``) are machine-independent; any drift means a
+  benchmark is no longer measuring the same work and the baseline must
+  be consciously regenerated, not silently absorbed.
 * **Throughput holds within a tolerance.**  The serial
-  ``steps_per_sec`` and the fleet ``device_steps_per_sec`` must stay
-  above ``tolerance x baseline`` (default 0.5x, i.e. flag a 2x
+  ``steps_per_sec`` and each fleet leg's ``device_steps_per_sec`` must
+  stay above ``tolerance x baseline`` (default 0.5x, i.e. flag a 2x
   slowdown; CI machines are noisy, real hot-loop regressions are much
   bigger than that).  Override with ``--tolerance`` or the
   ``CAPMAN_BENCH_TOLERANCE`` env var.
-* **The fleet speedup floor is absolute.**  ``fleet.speedup`` (batched
-  vs serial device-steps/s, both timed on the same host) must stay at
-  or above ``FLEET_MIN_SPEEDUP`` regardless of tolerance -- it is the
-  PR-acceptance ratio, not a machine-dependent rate.
+* **The fleet speedup floors are absolute.**  Each leg's ``speedup``
+  (batched vs serial device-steps/s, both timed on the same host)
+  must stay at or above its floor -- ``FLEET_MIN_SPEEDUP`` for the
+  Dual leg, ``CAPMAN_FLEET_MIN_SPEEDUP`` for the CAPMAN leg --
+  regardless of tolerance: these are the PR-acceptance ratios, not
+  machine-dependent rates.
 
 A payload may carry either section alone (each benchmark merges its
 own section into ``BENCH_sim.json``); only sections present in the
@@ -58,8 +61,22 @@ EXACT_SERIAL_FIELDS = ("steps_total", "cells_total", "cells_computed",
 #: Machine-independent fleet-run fields gated by exact equality.
 EXACT_FLEET_FIELDS = ("batch", "steps_total", "fallback_steps")
 
-#: Absolute floor on the fleet's batched-vs-serial step-rate ratio.
+#: The CAPMAN leg additionally pins its driver mix: every row must
+#: ride the compiled-table vector driver, none the scalar adapter.
+EXACT_CAPMAN_FLEET_FIELDS = EXACT_FLEET_FIELDS + ("adapter_rows",)
+
+#: Absolute floor on the Dual fleet's batched-vs-serial rate ratio.
 FLEET_MIN_SPEEDUP = 50.0
+
+#: Absolute floor for the CAPMAN leg (the PR-acceptance ratio: >= 20x
+#: at batch >= 1024 with the full learning path priced in).
+CAPMAN_FLEET_MIN_SPEEDUP = 20.0
+
+#: Fleet-shaped sections: name -> (exact fields, absolute speedup floor).
+FLEET_SECTIONS = {
+    "fleet": (EXACT_FLEET_FIELDS, FLEET_MIN_SPEEDUP),
+    "capman_fleet": (EXACT_CAPMAN_FLEET_FIELDS, CAPMAN_FLEET_MIN_SPEEDUP),
+}
 
 
 def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -77,15 +94,16 @@ def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
         gated["serial"] = {name: serial[name]
                            for name in EXACT_SERIAL_FIELDS}
         gated["steps_per_sec"] = serial["steps_per_sec"]
-    if "fleet" in payload:
-        fleet = payload["fleet"]
-        gated["fleet"] = {
-            **{name: fleet[name] for name in EXACT_FLEET_FIELDS},
-            "device_steps_per_sec": fleet["device_steps_per_sec"],
-            "speedup": fleet["speedup"],
-        }
+    for section, (exact_fields, _) in FLEET_SECTIONS.items():
+        if section in payload:
+            leg = payload[section]
+            gated[section] = {
+                **{name: leg[name] for name in exact_fields},
+                "device_steps_per_sec": leg["device_steps_per_sec"],
+                "speedup": leg["speedup"],
+            }
     if not gated:
-        raise KeyError("payload has neither a 'serial' nor a 'fleet' "
+        raise KeyError("payload has no 'serial', 'fleet' or 'capman_fleet' "
                        "section; run the throughput benchmarks first")
     return gated
 
@@ -125,31 +143,35 @@ def compare(fresh: Dict[str, Any], baseline: Dict[str, Any],
                     f"{fresh['steps_per_sec']:.0f} < {floor:.0f} "
                     f"({tolerance:g} x baseline "
                     f"{baseline['steps_per_sec']:.0f})")
-    if "fleet" in fresh:
-        if "fleet" not in baseline:
-            problems.append("fresh payload has a fleet section but the "
-                            "baseline does not; regenerate the baseline "
-                            "with --write-baseline")
+    for section, (exact_fields, min_speedup) in FLEET_SECTIONS.items():
+        if section not in fresh:
+            continue
+        if section not in baseline:
+            problems.append(f"fresh payload has a {section} section but "
+                            f"the baseline does not; regenerate the "
+                            f"baseline with --write-baseline")
         else:
-            for name in EXACT_FLEET_FIELDS:
-                got, want = fresh["fleet"][name], baseline["fleet"][name]
+            for name in exact_fields:
+                got, want = fresh[section][name], baseline[section][name]
                 if got != want:
                     problems.append(
-                        f"fleet.{name}: expected exactly {want}, got {got} "
-                        f"(deterministic field -- the benchmark's work "
-                        f"changed)")
-            floor = tolerance * baseline["fleet"]["device_steps_per_sec"]
-            if fresh["fleet"]["device_steps_per_sec"] < floor:
+                        f"{section}.{name}: expected exactly {want}, got "
+                        f"{got} (deterministic field -- the benchmark's "
+                        f"work changed)")
+            floor = tolerance * baseline[section]["device_steps_per_sec"]
+            if fresh[section]["device_steps_per_sec"] < floor:
                 problems.append(
-                    f"throughput regression: fleet device_steps_per_sec "
-                    f"{fresh['fleet']['device_steps_per_sec']:.0f} < "
+                    f"throughput regression: {section} "
+                    f"device_steps_per_sec "
+                    f"{fresh[section]['device_steps_per_sec']:.0f} < "
                     f"{floor:.0f} ({tolerance:g} x baseline "
-                    f"{baseline['fleet']['device_steps_per_sec']:.0f})")
-        if fresh["fleet"]["speedup"] < FLEET_MIN_SPEEDUP:
+                    f"{baseline[section]['device_steps_per_sec']:.0f})")
+        if fresh[section]["speedup"] < min_speedup:
             problems.append(
-                f"fleet speedup collapse: {fresh['fleet']['speedup']:.1f}x "
-                f"< required {FLEET_MIN_SPEEDUP:g}x over the serial scalar "
-                f"loop (absolute floor, tolerance does not apply)")
+                f"{section} speedup collapse: "
+                f"{fresh[section]['speedup']:.1f}x < required "
+                f"{min_speedup:g}x over the serial scalar loop "
+                f"(absolute floor, tolerance does not apply)")
     return problems
 
 
@@ -202,12 +224,13 @@ def main(argv: List[str]) -> int:
         summary.append(
             f"serial steps_total={fresh['serial']['steps_total']} "
             f"steps_per_sec={fresh['steps_per_sec']:.0f}")
-    if "fleet" in fresh:
-        summary.append(
-            f"fleet batch={fresh['fleet']['batch']} "
-            f"device_steps_per_sec="
-            f"{fresh['fleet']['device_steps_per_sec']:.0f} "
-            f"speedup={fresh['fleet']['speedup']:.1f}x")
+    for section in FLEET_SECTIONS:
+        if section in fresh:
+            summary.append(
+                f"{section} batch={fresh[section]['batch']} "
+                f"device_steps_per_sec="
+                f"{fresh[section]['device_steps_per_sec']:.0f} "
+                f"speedup={fresh[section]['speedup']:.1f}x")
     print(f"bench gate: OK ({'; '.join(summary)}; "
           f"tolerance {args.tolerance:g})")
     return 0

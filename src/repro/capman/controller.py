@@ -35,10 +35,13 @@ from ..workload.base import Segment
 from ..workload.traces import Trace
 from .profiler import PowerProfiler, device_key_of
 
-__all__ = ["CapmanPolicy"]
+__all__ = ["CapmanPolicy", "SOC_FLOOR"]
 
 #: Reserve below which a cell is considered unavailable for selection.
-_SOC_FLOOR = 0.03
+#: Public because the fleet engine's batched CAPMAN driver must apply
+#: the identical floor in its vectorised guard/lean masks.
+SOC_FLOOR = 0.03
+_SOC_FLOOR = SOC_FLOOR
 
 
 @dataclass
@@ -145,12 +148,22 @@ class CapmanPolicy(SchedulingPolicy):
     # ------------------------------------------------------------------
     # Decision paths
     # ------------------------------------------------------------------
+    @staticmethod
+    def decision_state(key, active: BatterySelection):
+        """The decision-MDP state consulted for a (device key, battery).
+
+        The single place the (key, active) pair is packed into the MDP
+        state shape; the fleet's compiled-table driver mirrors it via
+        :class:`~repro.capman.profiler.DecisionStateInterner`.
+        """
+        return (key, active.value)
+
     def _model_choice(self, ctx: PolicyContext) -> Optional[BatterySelection]:
         scheduler = self._scheduler
         if scheduler is None or self._profiler is None:
             return None
         key = device_key_of(ctx.demand, self._profiler.profile.wifi_model.threshold_kbps)
-        state = (key, ctx.active.value)
+        state = self.decision_state(key, ctx.active)
         if state not in scheduler.solution.policy:
             return None
         record = scheduler.decide(state)

@@ -37,6 +37,7 @@ from ..workload.traces import Trace
 
 __all__ = [
     "DeviceKey",
+    "DecisionStateInterner",
     "device_key_of",
     "device_key_cache_info",
     "BatteryCostModel",
@@ -76,6 +77,63 @@ def device_key_cache_info():
 
 def _selection_of(choice: str) -> BatterySelection:
     return BatterySelection.BIG if choice == "use_big" else BatterySelection.LITTLE
+
+
+class DecisionStateInterner:
+    """Interns decision-MDP states to dense integer codes.
+
+    The decision MDP's states are ``(DeviceKey, battery.value)`` pairs
+    (see :meth:`PowerProfiler.build_decision_mdp` and
+    ``CapmanPolicy.decision_state``).  The fleet's batched CAPMAN
+    driver flattens them to ``key_code * 2 + active_bit`` so a solved
+    policy compiles into an ``(n_states,) int8`` action table and the
+    per-step scheduler lookup becomes one fancy-indexing gather.
+
+    Key codes are assigned in first-intern order and never move, so
+    tables compiled at different replan epochs stay mutually
+    addressable.  The active bit is 1 for the big battery, 0 for
+    LITTLE, derived from the selection *value* -- the exact second
+    element of the MDP state tuple.
+    """
+
+    _ACTIVE_BIT = {
+        BatterySelection.BIG.value: 1,
+        BatterySelection.LITTLE.value: 0,
+    }
+
+    def __init__(self) -> None:
+        self._key_codes: Dict[DeviceKey, int] = {}
+
+    @property
+    def n_keys(self) -> int:
+        return len(self._key_codes)
+
+    @property
+    def n_states(self) -> int:
+        """Dense state-space size: every key times both batteries."""
+        return 2 * len(self._key_codes)
+
+    def key_code(self, key: DeviceKey) -> int:
+        """Intern ``key``, returning its stable dense code."""
+        code = self._key_codes.get(key)
+        if code is None:
+            code = len(self._key_codes)
+            self._key_codes[key] = code
+        return code
+
+    def state_code(self, key: DeviceKey, active_big: bool) -> int:
+        """Code of the (key, battery) state; interns the key."""
+        return self.key_code(key) * 2 + (1 if active_big else 0)
+
+    def state_code_of(self, state: Tuple[DeviceKey, str]) -> int:
+        """Code of a raw MDP state tuple; the key must be interned.
+
+        Raising on an unknown key is deliberate: the fleet interns
+        every key of every schedule segment up front, so a miss here
+        means the caller's coding drifted from the MDP's state space.
+        """
+        key, battery_value = state
+        return self._key_codes[key] * 2 + self._ACTIVE_BIT[battery_value]
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,9 @@ import math
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from .. import obs
 from ..durability.state import pack_state, unpack_state
@@ -30,7 +32,35 @@ from .mdp import MDP, Action, State
 from .similarity import SimilarityResult, StructuralSimilarity
 from .solver import Solution, value_iteration
 
-__all__ = ["DecisionRecord", "OnlineScheduler", "SchedulerStats"]
+__all__ = ["DecisionRecord", "OnlineScheduler", "SchedulerStats",
+           "compile_decision_table"]
+
+
+def compile_decision_table(
+    policy_map: Mapping[State, Action],
+    state_code: Callable[[State], int],
+    n_states: int,
+    action_code: Mapping[Action, int],
+    default: int = -1,
+) -> np.ndarray:
+    """Flatten a solved policy into a dense ``(n_states,)`` int8 table.
+
+    ``state_code`` maps each MDP state to its integer slot and
+    ``action_code`` each action to its entry value.  Slots whose state
+    is absent from ``policy_map`` -- and states whose action has no
+    code -- keep ``default``, which plays the role of "the policy has
+    no opinion" (callers route such lookups to their fallback rule,
+    exactly as :meth:`OnlineScheduler.decide` callers treat a state
+    missing from ``solution.policy``).  After compilation a decision
+    is one fancy-indexing gather, which is what lets the fleet engine
+    answer a whole batch of scheduler lookups per step.
+    """
+    table = np.full(n_states, default, dtype=np.int8)
+    for state, action in policy_map.items():
+        code = action_code.get(action)
+        if code is not None:
+            table[state_code(state)] = code
+    return table
 
 
 @dataclass
@@ -265,6 +295,25 @@ class OnlineScheduler:
         """
         sweeps = math.log(1.0 / self.precision) / max(1.0 - self.rho, 1e-6)
         return max(1, int(math.ceil(sweeps / self.compute_speed)))
+
+    def compile_action_table(
+        self,
+        state_code: Callable[[State], int],
+        n_states: int,
+        action_code: Mapping[Action, int],
+        default: int = -1,
+    ) -> np.ndarray:
+        """Export the solved policy as a dense action table.
+
+        Equivalent to answering :meth:`decide` for every known fresh
+        state up front: known states always resolve to
+        ``solution.policy[state]`` (refinement sweeps touch values,
+        never the solved policy), so the table reproduces the online
+        path's action for every state it covers and leaves ``default``
+        where ``decide`` would take the similarity/greedy fallback.
+        """
+        return compile_decision_table(self.solution.policy, state_code,
+                                      n_states, action_code, default)
 
     # ------------------------------------------------------------------
     # Checkpointing

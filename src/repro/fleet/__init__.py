@@ -14,6 +14,9 @@ exactly raise :class:`UnsupportedDeviceError` at build time; use
 :func:`supports_policy` to route them to the scalar engine instead.
 """
 
+from .capman import VectorCapmanDriver
+from .policies import (VECTOR_DRIVERS, is_vectorisable,
+                       register_vector_driver)
 from .simulator import FleetSimulator
 from .spec import DeviceSpec, FleetSpec, UnsupportedDeviceError, supports_policy
 from .state import FleetState
@@ -24,5 +27,9 @@ __all__ = [
     "FleetSimulator",
     "FleetState",
     "UnsupportedDeviceError",
+    "VectorCapmanDriver",
+    "VECTOR_DRIVERS",
+    "is_vectorisable",
+    "register_vector_driver",
     "supports_policy",
 ]

@@ -1,19 +1,32 @@
 """Per-step battery-choice drivers for the fleet batch.
 
 The scalar harness asks ``policy.decide_battery(ctx)`` once per control
-step.  The fleet splits the batch into driver groups:
+step.  The fleet splits the batch into driver groups: each policy type
+registered in :data:`VECTOR_DRIVERS` gets one vector driver instance
+covering all its rows, and every remaining row falls back to
+:class:`ScalarPolicyAdapter`, which rebuilds the exact
+:class:`~repro.sim.discharge.PolicyContext` the scalar loop would have
+built -- all observations converted back to Python floats -- and calls
+the real ``decide_battery``.
 
-* :class:`VectorDualDriver` -- rows whose policy is *exactly*
-  :class:`~repro.capman.baselines.DualPolicy` (the common benchmark
-  case).  Its decision rule, ``LITTLE while soc_little > 0.02 else
-  BIG``, vectorises to a single ``np.where`` over the row mask.
-* :class:`ScalarPolicyAdapter` -- everything else.  Each row keeps its
-  own (pickle-cloned) policy instance; the adapter rebuilds the exact
-  :class:`~repro.sim.discharge.PolicyContext` the scalar loop would
-  have built -- all observations converted back to Python floats -- and
-  calls the real ``decide_battery``.  Stateful policies (CAPMAN's
-  profiler/MDP machinery) therefore follow trajectories identical to
-  their scalar twins.
+Registered vector drivers:
+
+* :class:`VectorDualDriver` -- ``LITTLE while soc_little > 0.02 else
+  BIG``, one ``np.where``.
+* :class:`VectorHeuristicDriver` -- the utilisation-threshold
+  hysteresis of :class:`~repro.capman.baselines.HeuristicPolicy` as a
+  per-segment utilisation table plus two comparisons.
+* :class:`VectorPracticeDriver` -- ``decide_battery`` always returns
+  ``None``; the driver is a no-op (the choice column resets to
+  ``CHOICE_NONE`` each step).  Registration is about the *decision
+  rule*; :func:`~repro.fleet.spec.supports_policy` still rejects the
+  policy's single-battery pack.
+* ``VectorCapmanDriver`` (:mod:`repro.fleet.capman`) -- compiled MDP
+  action tables with epoch-batched learning and shared-trajectory
+  dedupe.
+
+Registration is keyed on the *exact* type: a subclass may override
+``decide_battery`` and must fall back to the adapter.
 
 Choices are written into a shared ``(N,)`` int8 column:
 ``CHOICE_NONE`` (-1, policy returned ``None``), ``CHOICE_BIG`` (0) or
@@ -23,30 +36,72 @@ Choices are written into a shared ``(N,)`` int8 column:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..battery.switch import BatterySelection
-from ..capman.baselines import DualPolicy
+from ..capman.baselines import DualPolicy, HeuristicPolicy, PracticePolicy
 from ..sim.discharge import PolicyContext, SchedulingPolicy
 
 __all__ = ["CHOICE_NONE", "CHOICE_BIG", "CHOICE_LITTLE",
-           "StepObservation", "VectorDualDriver", "ScalarPolicyAdapter",
-           "is_vectorisable"]
+           "StepObservation", "VectorDualDriver", "VectorHeuristicDriver",
+           "VectorPracticeDriver", "ScalarPolicyAdapter",
+           "VECTOR_DRIVERS", "register_vector_driver",
+           "make_decision_drivers", "is_vectorisable"]
 
 CHOICE_NONE = np.int8(-1)
 CHOICE_BIG = np.int8(0)
 CHOICE_LITTLE = np.int8(1)
 
+#: ``(row, policy, schedule)`` triples, one per device in a driver.
+Entry = Tuple[int, SchedulingPolicy, object]
+
+#: Exact policy type -> driver factory ``(entries, sim) -> driver``.
+VECTOR_DRIVERS: Dict[type, Callable] = {}
+
+
+def register_vector_driver(*policy_types: type):
+    """Class decorator registering a vector driver for policy types."""
+    def deco(factory):
+        for policy_type in policy_types:
+            VECTOR_DRIVERS[policy_type] = factory
+        return factory
+    return deco
+
 
 def is_vectorisable(policy: SchedulingPolicy) -> bool:
-    """True when the policy has a closed-form vector decision rule.
+    """True when the policy type has a registered vector driver.
 
-    Deliberately an exact-type check: a subclass may override
+    Deliberately an exact-type lookup: a subclass may override
     ``decide_battery`` and must fall back to the adapter.
     """
-    return type(policy) is DualPolicy
+    return type(policy) in VECTOR_DRIVERS
+
+
+def make_decision_drivers(policies: Sequence[SchedulingPolicy],
+                          schedules: Sequence[object], sim):
+    """Partition rows into vector drivers plus the scalar adapter.
+
+    Returns ``(drivers, n_adapted)``.  Rows sharing a registered policy
+    type share one driver instance (so per-type setup -- and CAPMAN's
+    trajectory dedupe -- sees the whole group); all remaining rows go
+    through one :class:`ScalarPolicyAdapter`.
+    """
+    grouped: Dict[type, List[Entry]] = {}
+    adapted: List[Entry] = []
+    for i, policy in enumerate(policies):
+        policy_type = type(policy)
+        if policy_type in VECTOR_DRIVERS:
+            grouped.setdefault(policy_type, []).append(
+                (i, policy, schedules[i]))
+        else:
+            adapted.append((i, policy, schedules[i]))
+    drivers = [VECTOR_DRIVERS[policy_type](entries, sim)
+               for policy_type, entries in grouped.items()]
+    if adapted:
+        drivers.append(ScalarPolicyAdapter(adapted))
+    return drivers, len(adapted)
 
 
 @dataclass
@@ -57,6 +112,7 @@ class StepObservation:
     run: np.ndarray           #: rows taking a step this tick
     starts: np.ndarray        #: control-step start times (schedule clock)
     dts: np.ndarray           #: control-step lengths
+    segi: np.ndarray          #: per-row segment index (into its schedule)
     soc_big: np.ndarray
     soc_little: np.ndarray
     cpu_temp: np.ndarray
@@ -65,28 +121,87 @@ class StepObservation:
     base_w: np.ndarray        #: predicted demand power (the memo value)
 
 
+@register_vector_driver(DualPolicy)
 class VectorDualDriver:
-    """Vectorised ``DualPolicy.decide_battery`` over a row mask."""
+    """Vectorised ``DualPolicy.decide_battery`` over its rows."""
 
-    def __init__(self, rows_mask: np.ndarray) -> None:
-        self.rows_mask = rows_mask
+    def __init__(self, entries: Sequence[Entry], sim=None) -> None:
+        self.rows = np.asarray([row for row, _, _ in entries],
+                               dtype=np.int64)
 
     def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
         """LITTLE while its SoC holds above 2%, then BIG -- every step."""
-        mask = self.rows_mask & obs.run
-        np.copyto(choices,
-                  np.where(obs.soc_little > 0.02, CHOICE_LITTLE, CHOICE_BIG),
-                  where=mask)
+        sel = self.rows[obs.run[self.rows]]
+        if sel.size:
+            choices[sel] = np.where(obs.soc_little[sel] > 0.02,
+                                    CHOICE_LITTLE, CHOICE_BIG)
+
+
+@register_vector_driver(PracticePolicy)
+class VectorPracticeDriver:
+    """``PracticePolicy.decide_battery`` always returns ``None``.
+
+    The shared choice column resets to ``CHOICE_NONE`` each step, so
+    declining to write *is* the decision.  (The policy's single-battery
+    pack still fails the fleet's pack check -- this driver only becomes
+    reachable if that ever widens -- but registering it keeps the
+    decision registry total over the paper's baseline policies.)
+    """
+
+    def __init__(self, entries: Sequence[Entry], sim=None) -> None:
+        self.rows = np.asarray([row for row, _, _ in entries],
+                               dtype=np.int64)
+
+    def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
+        return
+
+
+@register_vector_driver(HeuristicPolicy)
+class VectorHeuristicDriver:
+    """Vectorised utilisation-threshold hysteresis.
+
+    The scalar rule reads only ``ctx.demand.cpu_util`` and
+    ``ctx.active``: on LITTLE, switch to BIG when utilisation falls
+    below ``threshold - hysteresis``; on BIG, switch to LITTLE when it
+    rises above ``threshold``; otherwise no opinion.  Utilisation is a
+    pure per-segment quantity, so it is tabled once at build time and
+    gathered by segment index each step.
+    """
+
+    def __init__(self, entries: Sequence[Entry], sim=None) -> None:
+        self.rows = np.asarray([row for row, _, _ in entries],
+                               dtype=np.int64)
+        n = len(entries)
+        max_segs = max(len(sched.segments) for _, _, sched in entries)
+        self._util = np.zeros((n, max_segs), dtype=np.float64)
+        self._low_thr = np.zeros(n, dtype=np.float64)
+        self._high_thr = np.zeros(n, dtype=np.float64)
+        for g, (_, policy, sched) in enumerate(entries):
+            for si, seg in enumerate(sched.segments):
+                self._util[g, si] = seg.demand.cpu_util
+            # Same float subtraction the scalar rule performs per call.
+            self._low_thr[g] = policy.util_threshold - policy.util_hysteresis
+            self._high_thr[g] = policy.util_threshold
+
+    def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
+        g = np.nonzero(obs.run[self.rows])[0]
+        if not g.size:
+            return
+        sel = self.rows[g]
+        util = self._util[g, obs.segi[sel]]
+        on_big = obs.active_big[sel]
+        to_little = np.where(util > self._high_thr[g],
+                             CHOICE_LITTLE, CHOICE_NONE)
+        to_big = np.where(util < self._low_thr[g], CHOICE_BIG, CHOICE_NONE)
+        choices[sel] = np.where(on_big, to_little, to_big)
 
 
 class ScalarPolicyAdapter:
     """Row-at-a-time fallback running the real policy objects."""
 
-    def __init__(self, entries: Sequence[Tuple[int, SchedulingPolicy,
-                                               "object"]]) -> None:
+    def __init__(self, entries: Sequence[Entry]) -> None:
         #: ``(row, policy, schedule)`` triples, one per adapted device.
-        self.entries: List[Tuple[int, SchedulingPolicy, object]] = \
-            list(entries)
+        self.entries: List[Entry] = list(entries)
 
     def decide(self, obs: StepObservation, choices: np.ndarray) -> None:
         j = obs.j

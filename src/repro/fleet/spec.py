@@ -24,6 +24,7 @@ like the sweep runner route those rows to the scalar engine instead.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import pickle
 from dataclasses import dataclass
@@ -76,7 +77,7 @@ class Schedule:
     """A materialised control-step sequence shared by identical rows."""
 
     __slots__ = ("starts", "dts", "seg_of_step", "seg_start", "syscalls",
-                 "segments", "n_steps")
+                 "segments", "n_steps", "_fingerprint")
 
     def __init__(self, trace: Trace, control_dt: float,
                  max_duration_s: float) -> None:
@@ -110,6 +111,33 @@ class Schedule:
         self.syscalls = syscalls
         self.segments = segments
         self.n_steps = len(starts)
+        self._fingerprint: Optional[str] = None
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the materialised control-step grid.
+
+        Two schedules with equal fingerprints drive byte-identical
+        scalar control loops: the step grid (starts/dts/segment
+        mapping/segment-start flags) is hashed raw, and each distinct
+        segment via its deterministic frozen-dataclass ``repr`` (demand,
+        duration, syscall -- the same convention as
+        :func:`repro.sim.discharge.trace_fingerprint`).  Per-step
+        syscalls are derivable from segments + ``seg_start``, so they
+        need no separate hashing.  The CAPMAN fleet driver keys shared
+        learning trajectories on this, so content-equal traces dedupe
+        even when they are distinct Python objects.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(self.starts.tobytes())
+            h.update(self.dts.tobytes())
+            h.update(self.seg_of_step.tobytes())
+            h.update(self.seg_start.tobytes())
+            for seg in self.segments:
+                h.update(repr((seg.demand, seg.duration_s,
+                               seg.syscall)).encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
 
 def _check_policy(policy: SchedulingPolicy) -> Optional[str]:

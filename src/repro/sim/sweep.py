@@ -682,6 +682,11 @@ def _run_fleet_batch(
     its cells so :class:`SimStats` totals stay meaningful.  Any batch
     failure falls back to per-cell scalar execution -- batching is an
     optimisation, never a new failure mode.
+
+    The batch honours the ``CAPMAN_FLEET_SHARDS`` env var: with a
+    count above 1 the fleet row-shards across worker processes
+    (:meth:`~repro.fleet.FleetSimulator.run_sharded`), with results
+    byte-equal to the single-process run.
     """
     from ..fleet import DeviceSpec, FleetSpec
 
@@ -694,7 +699,7 @@ def _run_fleet_batch(
                        ambient_c=cell.ambient_c,
                        record_every=cell.record_every)
             for cell in cells])
-        results = spec.build().run()
+        results = spec.build().run_sharded()
     except Exception:
         return [_timed_cell(cell) for cell in cells]
     elapsed = (time.perf_counter() - started) / len(cells)
@@ -751,7 +756,10 @@ class ScenarioRunner:
         :class:`repro.fleet.FleetSimulator` -- results are bit-for-bit
         the scalar ones, just computed as one vectorised batch.
         Ineligible cells, journalled sweeps and observed sweeps fall
-        back to the scalar path automatically.
+        back to the scalar path automatically.  Setting the
+        ``CAPMAN_FLEET_SHARDS`` env var above 1 additionally
+        row-shards each fleet batch across worker processes (results
+        unchanged, byte for byte).
     """
 
     def __init__(

@@ -1,7 +1,8 @@
 """Golden regression fixture for the fleet simulator.
 
-An 8-device heterogeneous batch (three policies, both profiles, two
-traces, three capacities) is run once and its summary statistics and a
+A 10-device heterogeneous batch (three policies, both profiles, two
+traces, three capacities, a deduped CAPMAN trajectory pair) is run
+once and its summary statistics and a
 sample SoC trajectory frozen into ``tests/data/fleet_golden.npz``.
 The suite then replays the batch and compares against the fixture --
 catching silent numerical drift in either the fleet path or the shared
@@ -60,6 +61,18 @@ def _build():
                    max_duration_s=MAX_DURATION_S),
         DeviceSpec(policy=DualPolicy(capacity_mah=400.0), trace=video,
                    profile=HONOR, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        # Rows 8-9: same CAPMAN configuration as row 6 -- the three
+        # share a learned trajectory, so the fixture also pins the
+        # dedupe path; row 9 tightens the replan cadence to pin the
+        # multi-boundary epoch machinery.
+        DeviceSpec(policy=CapmanPolicy(capacity_mah=400.0), trace=eta,
+                   profile=NEXUS, control_dt=CONTROL_DT,
+                   max_duration_s=MAX_DURATION_S),
+        DeviceSpec(policy=CapmanPolicy(capacity_mah=400.0,
+                                       min_observations=3,
+                                       replan_interval=5),
+                   trace=eta, profile=NEXUS, control_dt=CONTROL_DT,
                    max_duration_s=MAX_DURATION_S),
     ]
     return FleetSpec(devices)
@@ -120,8 +133,16 @@ class TestFleetGolden:
         np.testing.assert_array_equal(fresh[key], golden[key], err_msg=key)
 
     def test_batch_shape(self, golden):
-        assert golden["service_time_s"].shape == (8,)
+        assert golden["service_time_s"].shape == (10,)
         assert golden["step_count"].sum() > 0
+
+    def test_dedupe_pair_rows_identical(self, fresh):
+        """Rows 6 and 8 are identical CAPMAN configurations sharing one
+        learned trajectory -- their summaries must agree exactly."""
+        for key in ("service_time_s", "energy_delivered_j", "switch_count",
+                    "step_count", "max_cpu_temp_c", "big_time_s",
+                    "little_time_s"):
+            assert fresh[key][6] == fresh[key][8], key
 
 
 def _regenerate() -> None:

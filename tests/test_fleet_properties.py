@@ -34,9 +34,10 @@ _VIDEO = record_trace(VideoWorkload(seed=7), duration_s=90.0)
 _ETA = record_trace(EtaStaticWorkload(0.5, seed=1), duration_s=90.0)
 
 #: Small heterogeneous pool the strategies index into.  Mixes policies
-#: (vectorised Dual, adapter-driven CAPMAN/Heuristic), profiles, traces
-#: and capacities -- including a 40 mAh cell that depletes inside the
-#: window to drag the irregular-row fallback path into the properties.
+#: (all vector-driven: Dual, CAPMAN, Heuristic), profiles, traces and
+#: capacities -- including a 40 mAh cell that depletes inside the
+#: window to drag the irregular-row fallback path into the properties,
+#: and a CAPMAN twin so random batches exercise trajectory dedupe.
 POOL = [
     ("dual-nexus-small",
      lambda: DeviceSpec(policy=DualPolicy(capacity_mah=40.0), trace=_VIDEO,
@@ -52,6 +53,12 @@ POOL = [
                         max_duration_s=MAX_DURATION_S)),
     ("dual-honor-eta",
      lambda: DeviceSpec(policy=DualPolicy(capacity_mah=400.0), trace=_ETA,
+                        profile=HONOR, control_dt=CONTROL_DT,
+                        max_duration_s=MAX_DURATION_S)),
+    # Same configuration as capman-honor: batches drawing both rows
+    # must dedupe them onto one learned trajectory and still match.
+    ("capman-honor-twin",
+     lambda: DeviceSpec(policy=CapmanPolicy(capacity_mah=120.0), trace=_VIDEO,
                         profile=HONOR, control_dt=CONTROL_DT,
                         max_duration_s=MAX_DURATION_S)),
 ]

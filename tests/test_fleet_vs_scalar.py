@@ -36,7 +36,15 @@ _TRACE = record_trace(VideoWorkload(seed=7), duration_s=120.0)
 
 POLICIES = {
     "capman": lambda: CapmanPolicy(capacity_mah=CAPACITY_MAH),
+    # Tight learning cadence at a surviving capacity: the window packs
+    # many replan boundaries (first model after 3 observations, then a
+    # re-solve every 5), so the compiled-table epoch machinery is
+    # exercised well beyond the single warmup solve.
+    "capman-replan": lambda: CapmanPolicy(capacity_mah=400.0,
+                                          min_observations=3,
+                                          replan_interval=5),
     "dual": lambda: DualPolicy(capacity_mah=CAPACITY_MAH),
+    "heuristic": lambda: HeuristicPolicy(capacity_mah=CAPACITY_MAH),
 }
 PROFILES = {"nexus": NEXUS, "honor": HONOR}
 
@@ -100,6 +108,24 @@ def test_heterogeneous_batch_matches_scalar_rowwise():
     for (policy, profile), mine in zip(cases, results):
         assert _frozen(mine) == _frozen(_scalar(policy, profile)), \
             f"{policy}-{profile} diverged inside the batch"
+
+
+def test_capman_hot_spot_lean_matches_scalar():
+    """A 43 degC ambient drives the CPU past the 45 degC hot-spot
+    threshold, so the vectorised LITTLE-lean mask must fire -- and the
+    whole decision chain must still match the scalar oracle exactly."""
+    oracle = run_discharge_cycle(
+        CapmanPolicy(capacity_mah=400.0), _TRACE, profile=NEXUS,
+        control_dt=CONTROL_DT, max_duration_s=MAX_DURATION_S,
+        ambient_c=43.0)
+    # The scenario genuinely reaches the hot-spot regime.
+    assert oracle.max_cpu_temp_c >= 45.0
+    sim = FleetSpec([DeviceSpec(
+        policy=CapmanPolicy(capacity_mah=400.0), trace=_TRACE,
+        profile=NEXUS, control_dt=CONTROL_DT,
+        max_duration_s=MAX_DURATION_S, ambient_c=43.0)]).build()
+    [mine] = sim.run()
+    assert _frozen(mine) == _frozen(oracle)
 
 
 def test_depletion_stress_exercises_fallback_rows():
