@@ -1,0 +1,134 @@
+"""Distributed-backend throughput: the TCP lease path priced honestly.
+
+Runs a small Dual-policy grid twice -- cold serial in-process, then
+through :class:`repro.sim.distributed.DistributedExecutor` with two
+spawned TCP workers and a run journal -- and merges a
+``"distributed"`` section into ``BENCH_sim.json`` for
+``scripts/bench_gate.py`` (alongside the sweep and fleet sections).
+
+The point is not a speedup figure: on a grid this small the worker
+spawn and lease round-trips dominate.  The section pins what the
+backend must never regress on:
+
+* exactly-once accounting -- ``lost_cells`` and ``double_commits``
+  are exact-zero gated fields, audited from the journal, not from the
+  executor's own counters;
+* byte-identity with the serial engine (asserted here, cell by cell);
+* a relative throughput floor on ``steps_per_sec`` so protocol
+  overhead (framing, renewals, polling) cannot silently balloon.
+
+Deterministic work accounting (``cells_total``, ``steps_total``,
+``workers``) is gated exactly; rates relatively.
+"""
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.capman.baselines import DualPolicy
+from repro.device.profiles import PHONES
+from repro.sim.chaos import journal_commit_counts
+from repro.sim.distributed import DistributedExecutor
+from repro.sim.sweep import CellFailure, ScenarioRunner, SweepSpec
+from repro.workload.generators import EtaStaticWorkload
+from repro.workload.traces import record_trace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+CELL_MAH = 400.0
+WINDOW_S = 1800.0
+TRACE_S = 600.0
+WORKERS = 2
+
+
+def _grid_spec():
+    trace = record_trace(EtaStaticWorkload(0.5, seed=1), TRACE_S)
+    return SweepSpec(
+        policies={
+            f"Dual{int(mah)}": DualPolicy(capacity_mah=mah)
+            for mah in (300.0, 400.0, 500.0)
+        },
+        traces={"eta-50%": trace},
+        profiles=dict(PHONES),
+        control_dts=(2.0,),
+        max_duration_s=WINDOW_S,
+    )
+
+
+def _cell_bytes(results):
+    return [pickle.dumps(r) for r in results]
+
+
+def _measure(tmp_path):
+    spec = _grid_spec()
+
+    t0 = time.perf_counter()
+    serial = ScenarioRunner(workers=1).run(spec)
+    serial_wall = time.perf_counter() - t0
+
+    executor = DistributedExecutor(spawn_workers=WORKERS,
+                                   workers_grace_s=10.0)
+    journal = tmp_path / "dist-bench.journal"
+    t0 = time.perf_counter()
+    dist = ScenarioRunner(executor=executor, journal=journal).run(spec)
+    dist_wall = time.perf_counter() - t0
+    return spec, serial, serial_wall, dist, dist_wall, executor, journal
+
+
+def test_dist_throughput(benchmark, tmp_path):
+    spec, serial, serial_wall, dist, dist_wall, executor, journal = \
+        benchmark.pedantic(lambda: _measure(tmp_path),
+                           rounds=1, iterations=1)
+
+    # Exactly-once audit straight from the durable record.
+    counts = journal_commit_counts(journal)
+    lost_cells = sum(
+        1 for r in dist.results
+        if r is None or isinstance(r, CellFailure))
+    double_commits = sum(1 for n in counts.values() if n > 1)
+
+    steps_total = sum(r.step_count for r in dist.results)
+    serial_rate = steps_total / max(serial_wall, 1e-9)
+    dist_rate = steps_total / max(dist_wall, 1e-9)
+
+    print()
+    print(format_table(
+        ["run", "workers", "wall (s)", "steps/s", "remote cells"],
+        [
+            ["serial in-process", 1, serial_wall, serial_rate, 0],
+            ["distributed (TCP)", WORKERS, dist_wall, dist_rate,
+             executor.stats.remote_cells],
+        ],
+        title=f"Distributed backend -- {len(spec)} cells, "
+              f"{WORKERS} spawned workers, journalled",
+    ))
+
+    section = {
+        "cells_total": len(spec),
+        "steps_total": steps_total,
+        "workers": WORKERS,
+        "lost_cells": lost_cells,
+        "double_commits": double_commits,
+        "remote_cells": executor.stats.remote_cells,
+        "local_fallback_cells": executor.stats.local_fallback_cells,
+        "steps_per_sec": dist_rate,
+        "serial_steps_per_sec": serial_rate,
+        "serial_wall_s": serial_wall,
+        "dist_wall_s": dist_wall,
+    }
+    payload = {}
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text())
+    payload["distributed"] = section
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  merged distributed section into {BENCH_PATH}")
+
+    # The backend measured is the certified one: byte-identical to the
+    # serial engine, cell by cell, with exactly-once journal commits.
+    assert _cell_bytes(dist.results) == _cell_bytes(serial.results)
+    assert lost_cells == 0, section
+    assert double_commits == 0, section
+    assert sorted(counts) == [cell.index for cell in spec.expand()]
+    assert dist.stats.executor == "distributed"

@@ -2,8 +2,9 @@
 """Benchmark-regression gate over the simulation throughput runs.
 
 Compares a freshly produced ``BENCH_sim.json`` (written by
-``benchmarks/test_sim_throughput.py`` and
-``benchmarks/test_fleet_throughput.py``) against the committed baseline
+``benchmarks/test_sim_throughput.py``,
+``benchmarks/test_fleet_throughput.py`` and
+``benchmarks/test_dist_throughput.py``) against the committed baseline
 ``benchmarks/baselines/BENCH_sim.baseline.json`` and fails -- nonzero
 exit, for CI -- on regression:
 
@@ -13,7 +14,11 @@ exit, for CI -- on regression:
   ``steps_total``, ``fallback_steps``, and for the CAPMAN leg also
   ``adapter_rows``) are machine-independent; any drift means a
   benchmark is no longer measuring the same work and the baseline must
-  be consciously regenerated, not silently absorbed.
+  be consciously regenerated, not silently absorbed.  The distributed
+  backend's section additionally pins its robustness invariants --
+  ``lost_cells`` and ``double_commits`` are exact-zero in the
+  baseline, so any lost or double-committed cell fails the gate as a
+  correctness regression, not a perf one.
 * **Throughput holds within a tolerance.**  The serial
   ``steps_per_sec`` and each fleet leg's ``device_steps_per_sec`` must
   stay above ``tolerance x baseline`` (default 0.5x, i.e. flag a 2x
@@ -34,7 +39,8 @@ fresh payload are gated, and only gated sections land in the baseline.
 Regenerate the baseline after an intentional change with::
 
     python -m pytest benchmarks/test_sim_throughput.py \
-        benchmarks/test_fleet_throughput.py --benchmark-only -x -q -s
+        benchmarks/test_fleet_throughput.py \
+        benchmarks/test_dist_throughput.py --benchmark-only -x -q -s
     python scripts/bench_gate.py --write-baseline
 """
 
@@ -78,6 +84,13 @@ FLEET_SECTIONS = {
     "capman_fleet": (EXACT_CAPMAN_FLEET_FIELDS, CAPMAN_FLEET_MIN_SPEEDUP),
 }
 
+#: Machine-independent distributed-backend fields gated by exact
+#: equality.  ``lost_cells`` and ``double_commits`` are 0 in any sane
+#: baseline, so this doubles as a correctness gate on exactly-once
+#: commit accounting.
+EXACT_DIST_FIELDS = ("cells_total", "steps_total", "workers",
+                     "lost_cells", "double_commits")
+
 
 def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
     """The gated subset of a ``BENCH_sim.json`` payload.
@@ -102,9 +115,16 @@ def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "device_steps_per_sec": leg["device_steps_per_sec"],
                 "speedup": leg["speedup"],
             }
+    if "distributed" in payload:
+        leg = payload["distributed"]
+        gated["distributed"] = {
+            **{name: leg[name] for name in EXACT_DIST_FIELDS},
+            "steps_per_sec": leg["steps_per_sec"],
+        }
     if not gated:
-        raise KeyError("payload has no 'serial', 'fleet' or 'capman_fleet' "
-                       "section; run the throughput benchmarks first")
+        raise KeyError("payload has no 'serial', 'fleet', 'capman_fleet' "
+                       "or 'distributed' section; run the throughput "
+                       "benchmarks first")
     return gated
 
 
@@ -172,6 +192,29 @@ def compare(fresh: Dict[str, Any], baseline: Dict[str, Any],
                 f"{fresh[section]['speedup']:.1f}x < required "
                 f"{min_speedup:g}x over the serial scalar loop "
                 f"(absolute floor, tolerance does not apply)")
+    if "distributed" in fresh:
+        if "distributed" not in baseline:
+            problems.append("fresh payload has a distributed section but "
+                            "the baseline does not; regenerate the "
+                            "baseline with --write-baseline")
+        else:
+            for name in EXACT_DIST_FIELDS:
+                got = fresh["distributed"][name]
+                want = baseline["distributed"][name]
+                if got != want:
+                    problems.append(
+                        f"distributed.{name}: expected exactly {want}, "
+                        f"got {got} (deterministic field -- "
+                        f"exactly-once accounting or the benchmark's "
+                        f"work changed)")
+            floor = tolerance * baseline["distributed"]["steps_per_sec"]
+            if fresh["distributed"]["steps_per_sec"] < floor:
+                problems.append(
+                    f"throughput regression: distributed steps_per_sec "
+                    f"{fresh['distributed']['steps_per_sec']:.0f} < "
+                    f"{floor:.0f} ({tolerance:g} x baseline "
+                    f"{baseline['distributed']['steps_per_sec']:.0f}) "
+                    f"-- lease/framing overhead grew")
     return problems
 
 
@@ -231,6 +274,12 @@ def main(argv: List[str]) -> int:
                 f"device_steps_per_sec="
                 f"{fresh[section]['device_steps_per_sec']:.0f} "
                 f"speedup={fresh[section]['speedup']:.1f}x")
+    if "distributed" in fresh:
+        summary.append(
+            f"distributed cells={fresh['distributed']['cells_total']} "
+            f"steps_per_sec={fresh['distributed']['steps_per_sec']:.0f} "
+            f"lost={fresh['distributed']['lost_cells']} "
+            f"double_commits={fresh['distributed']['double_commits']}")
     print(f"bench gate: OK ({'; '.join(summary)}; "
           f"tolerance {args.tolerance:g})")
     return 0

@@ -12,6 +12,7 @@ from .discharge import (
 )
 from .engine import ControlStep, iter_control_steps
 from .metrics import MetricsRecorder, TimeSeries
+from .retry import RetryPolicy
 from .sweep import (
     CellFailure,
     CellTimeoutError,
@@ -22,13 +23,19 @@ from .sweep import (
     SweepResult,
     SweepSpec,
 )
+from .executors import ExecutorHeartbeat, LocalProcessExecutor, SweepExecutor
+from .distributed import DistributedExecutor, SweepCoordinator, SweepWorker
+from .cache_server import CacheServer, NetworkSweepCache
 
 # chaos depends on everything above; keep it last.
 from .chaos import (
+    BackendChaos,
+    BackendChaosReport,
     ChaosReport,
     ChaosRow,
     ChaosSpec,
     FaultScenario,
+    run_backend_chaos,
     run_chaos,
     standard_scenarios,
 )
@@ -47,12 +54,24 @@ __all__ = [
     "TimeSeries",
     "CellFailure",
     "CellTimeoutError",
+    "RetryPolicy",
     "ScenarioCell",
     "ScenarioRunner",
     "SimStats",
     "SweepCache",
     "SweepResult",
     "SweepSpec",
+    "SweepExecutor",
+    "ExecutorHeartbeat",
+    "LocalProcessExecutor",
+    "DistributedExecutor",
+    "SweepCoordinator",
+    "SweepWorker",
+    "CacheServer",
+    "NetworkSweepCache",
+    "BackendChaos",
+    "BackendChaosReport",
+    "run_backend_chaos",
     "ChaosReport",
     "ChaosRow",
     "ChaosSpec",

@@ -1,0 +1,413 @@
+"""Networked sweep-result cache: a TCP server plus a partition-tolerant client.
+
+A fleet of sweep runners (or distributed workers on several hosts)
+can share one result cache instead of each keeping its own directory.
+The moving parts:
+
+* :class:`CacheServer` serves content-hash ``get``/``put`` over the
+  same checksummed frame protocol as the distributed sweep
+  coordinator.  Storage is an ordinary :class:`~repro.sim.sweep.SweepCache`
+  directory -- atomic write-to-temp-and-rename under the advisory
+  file lock, unpickle-validated reads -- so a server crash mid-``put``
+  can tear at most a temp file, never a served entry, and the
+  directory stays interchangeable with a local cache.
+* :class:`NetworkSweepCache` is a drop-in :class:`~repro.sim.sweep.SweepCache`
+  subclass: ``ScenarioRunner(cache=NetworkSweepCache(...))`` works
+  unchanged.  Every remote failure -- refused connection, timeout,
+  torn frame -- flips the client into **partition mode**: reads and
+  writes fall back to a local cache directory, writes are remembered,
+  and a periodic probe looks for the server.  On heal the client
+  **reconciles**: the puts accumulated during the partition are
+  replayed to the server, then remote operation resumes.  A sweep
+  never fails, blocks, or loses results because the cache network is
+  down; at worst it recomputes what the unreachable server knew.
+
+Why stale reads are safe here: cache keys are content hashes of
+(cell configuration, code salt), so a key maps to exactly one value
+forever.  A "stale" entry is byte-for-byte the correct entry; the
+only staleness possible is a *miss* that a fresher server would have
+hit, and a miss just means recomputing -- correctness never depends
+on cache freshness.
+
+Like the distributed coordinator, frames are integrity-checked but
+unauthenticated: localhost / trusted-network use only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+from .distributed import ProtocolError, recv_msg, rpc, send_msg
+from .retry import RetryPolicy
+from .sweep import SweepCache
+
+__all__ = [
+    "CacheServer",
+    "CacheServerStats",
+    "NetworkSweepCache",
+    "CacheClientStats",
+]
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+@dataclass
+class CacheServerStats:
+    gets: int = 0
+    hits: int = 0
+    puts: int = 0
+    #: Requests deliberately dropped while chaos-partitioned.
+    partitioned_drops: int = 0
+    #: Replies deliberately truncated mid-frame (chaos).
+    torn_replies: int = 0
+    bad_requests: int = 0
+
+
+class CacheServer:
+    """Serve one cache directory over TCP.
+
+    Protocol (one request/response per connection):
+
+    ==============  ====================================================
+    request          response
+    ==============  ====================================================
+    ``cache_ping``  ``{ok: True}``
+    ``cache_get``   ``{hit: bool, payload: bytes | None}``
+    ``cache_put``   ``{ok: True}``
+    ``cache_stats`` counters snapshot
+    ==============  ====================================================
+
+    Values travel as pickled payload bytes inside checksummed frames;
+    at rest they are exactly the files a local
+    :class:`~repro.sim.sweep.SweepCache` writes, so the served
+    directory can be copied, inspected, or mounted directly by a
+    local-cache runner.
+
+    Chaos hooks (used by the fault-injection tests):
+
+    * :meth:`partition` / :meth:`heal` -- while partitioned, every
+      accepted connection is closed without a reply, exactly what a
+      dropped network looks like to the client;
+    * :meth:`inject_torn_replies` -- the next *n* replies are
+      truncated mid-frame, exercising the client's checksum path.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.store = SweepCache(directory)
+        self.host = host
+        self.port = port
+        self.stats = CacheServerStats()
+        self._lock = threading.Lock()
+        self._partitioned = threading.Event()
+        self._torn_replies = 0
+        self._server: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.host, self.port))
+        server.listen(64)
+        server.settimeout(0.2)
+        self._server = server
+        self.port = server.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve,
+                                        name="cache-server", daemon=True)
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    # -- chaos hooks ---------------------------------------------------
+    def partition(self) -> None:
+        """Drop every request until :meth:`heal` (keeps listening, so
+        clients see resets/timeouts rather than instant refusals)."""
+        self._partitioned.set()
+
+    def heal(self) -> None:
+        self._partitioned.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    def inject_torn_replies(self, n: int) -> None:
+        """Truncate the next ``n`` replies mid-frame (torn write on
+        the wire; the client's frame checksum must catch it)."""
+        with self._lock:
+            self._torn_replies += int(n)
+
+    # -- plumbing ------------------------------------------------------
+    def _serve(self) -> None:
+        assert self._server is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(10.0)
+            if self._partitioned.is_set():
+                self.stats.partitioned_drops += 1
+                return  # close without replying: the partition
+            try:
+                message = recv_msg(conn)
+                reply = self._dispatch(message)
+                self._send_reply(conn, reply)
+            except (ConnectionError, OSError, pickle.UnpicklingError):
+                self.stats.bad_requests += 1
+
+    def _send_reply(self, conn: socket.socket,
+                    reply: Dict[str, Any]) -> None:
+        with self._lock:
+            tear = self._torn_replies > 0
+            if tear:
+                self._torn_replies -= 1
+        if not tear:
+            send_msg(conn, reply)
+            return
+        # Emit a deliberately torn frame: a valid header whose payload
+        # stops halfway.  The checksum (or the cut itself) must make
+        # the client treat this as corruption, never as data.
+        import hashlib
+        import struct
+        payload = pickle.dumps(reply, protocol=4)
+        digest = hashlib.sha256(payload).digest()[:8]
+        header = struct.Struct(">3sI8s").pack(b"CD1", len(payload), digest)
+        conn.sendall(header + payload[: max(1, len(payload) // 2)])
+        self.stats.torn_replies += 1
+
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "cache_ping":
+            return {"op": "ok", "ok": True}
+        if op == "cache_get":
+            self.stats.gets += 1
+            value = self.store.get(str(message["key"]))
+            if value is None:
+                return {"op": "ok", "hit": False, "payload": None}
+            self.stats.hits += 1
+            return {"op": "ok", "hit": True,
+                    "payload": pickle.dumps(value, protocol=4)}
+        if op == "cache_put":
+            value = pickle.loads(message["payload"])
+            self.store.put(str(message["key"]), value)
+            self.stats.puts += 1
+            return {"op": "ok", "ok": True}
+        if op == "cache_stats":
+            return {"op": "ok", "entries": len(self.store),
+                    "gets": self.stats.gets, "hits": self.stats.hits,
+                    "puts": self.stats.puts}
+        self.stats.bad_requests += 1
+        return {"op": "error", "error": f"unknown op {op!r}"}
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+@dataclass
+class CacheClientStats:
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_puts: int = 0
+    #: Operations served by the local fallback directory.
+    fallback_gets: int = 0
+    fallback_puts: int = 0
+    #: Remote failures that flipped the client into partition mode.
+    partitions_detected: int = 0
+    #: Successful probes that flipped it back.
+    heals: int = 0
+    #: Locally-buffered puts replayed to the server on heal.
+    reconciled_puts: int = 0
+
+
+class NetworkSweepCache(SweepCache):
+    """A :class:`~repro.sim.sweep.SweepCache` backed by a
+    :class:`CacheServer`, degrading to a local directory under
+    partition.
+
+    Drop-in for any ``cache=`` argument (it *is* a ``SweepCache``);
+    the inherited directory doubles as the local fallback store and
+    the reconciliation buffer.
+
+    Failure handling is one-way-door-free: any remote error marks the
+    client partitioned and the operation completes locally.  While
+    partitioned, at most one probe per ``probe_interval_s`` checks the
+    server (so a sweep is never throttled by per-cell connection
+    timeouts); a successful probe replays the locally buffered puts
+    and resumes remote operation.  :meth:`flush` forces a final
+    probe-and-reconcile, e.g. at the end of a sweep.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        directory: Union[str, Path],
+        rpc_timeout_s: float = 5.0,
+        probe_interval_s: float = 0.5,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        super().__init__(directory)
+        self.address = (str(address[0]), int(address[1]))
+        self.rpc_timeout_s = rpc_timeout_s
+        self.probe_interval_s = probe_interval_s
+        #: In-line retry schedule for one remote op before declaring a
+        #: partition (default: one quick second chance).
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=2, backoff_base_s=0.05, backoff_max_s=0.2)
+        self.stats = CacheClientStats()
+        self._mutex = threading.Lock()
+        self._partitioned = False
+        self._last_probe = 0.0
+        self._pending: Set[str] = set()
+
+    # -- partition bookkeeping -----------------------------------------
+    @property
+    def partitioned(self) -> bool:
+        with self._mutex:
+            return self._partitioned
+
+    def _mark_partitioned(self) -> None:
+        with self._mutex:
+            if not self._partitioned:
+                self._partitioned = True
+                self.stats.partitions_detected += 1
+            self._last_probe = time.monotonic()
+
+    def _should_probe(self) -> bool:
+        with self._mutex:
+            if not self._partitioned:
+                return False
+            now = time.monotonic()
+            if now - self._last_probe < self.probe_interval_s:
+                return False
+            self._last_probe = now
+            return True
+
+    def _rpc(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """One remote op with quick in-line retries; None on failure."""
+        attempts = 0
+        while True:
+            try:
+                return rpc(self.address, message,
+                           timeout_s=self.rpc_timeout_s)
+            except (ConnectionError, OSError, ProtocolError,
+                    pickle.UnpicklingError):
+                attempts += 1
+                if not self.retry.allows(attempts):
+                    return None
+                self.retry.sleep(attempts, token=message.get("op", ""))
+
+    def _probe_and_heal(self) -> bool:
+        """Try the server; on success replay buffered puts. True if up."""
+        reply = self._rpc({"op": "cache_ping"})
+        if reply is None:
+            return False
+        with self._mutex:
+            pending = sorted(self._pending)
+        replayed = 0
+        for key in pending:
+            value = super().get(key)
+            if value is None:
+                continue  # local entry lost/corrupt: nothing to replay
+            reply = self._rpc({
+                "op": "cache_put", "key": key,
+                "payload": pickle.dumps(value, protocol=4)})
+            if reply is None:
+                return False  # partition is back; keep the buffer
+            replayed += 1
+            with self._mutex:
+                self._pending.discard(key)
+        with self._mutex:
+            if self._partitioned:
+                self._partitioned = False
+                self.stats.heals += 1
+            self.stats.reconciled_puts += replayed
+        return True
+
+    def flush(self) -> bool:
+        """Force a probe + reconcile now; True when the server is
+        reachable and the buffer is empty."""
+        with self._mutex:
+            self._last_probe = time.monotonic()
+        ok = self._probe_and_heal()
+        with self._mutex:
+            return ok and not self._pending
+
+    # -- SweepCache interface ------------------------------------------
+    def get(self, key: str):
+        if self.partitioned:
+            if not (self._should_probe() and self._probe_and_heal()):
+                self.stats.fallback_gets += 1
+                return super().get(key)
+        reply = self._rpc({"op": "cache_get", "key": key})
+        if reply is None:
+            self._mark_partitioned()
+            self.stats.fallback_gets += 1
+            return super().get(key)
+        if not reply.get("hit"):
+            self.stats.remote_misses += 1
+            # The server may have missed what we hold locally (it was
+            # down when we computed it): answer from the fallback too.
+            return super().get(key)
+        try:
+            value = pickle.loads(reply["payload"])
+        except Exception:
+            # Corrupt payload that somehow passed framing: a miss,
+            # never an exception or a wrong value.
+            self.stats.remote_misses += 1
+            return super().get(key)
+        self.stats.remote_hits += 1
+        return value
+
+    def put(self, key: str, result) -> None:
+        # The local directory always gets the entry first: a crash or
+        # partition at any later point can only lose remote
+        # deduplication, never the result itself.
+        super().put(key, result)
+        if self.partitioned:
+            if not (self._should_probe() and self._probe_and_heal()):
+                with self._mutex:
+                    self._pending.add(key)
+                self.stats.fallback_puts += 1
+                return
+        reply = self._rpc({
+            "op": "cache_put", "key": key,
+            "payload": pickle.dumps(result, protocol=4)})
+        if reply is None:
+            self._mark_partitioned()
+            with self._mutex:
+                self._pending.add(key)
+            self.stats.fallback_puts += 1
+            return
+        self.stats.remote_puts += 1

@@ -1,0 +1,1026 @@
+"""Distributed sweep backend: TCP coordinator + elastic lease workers.
+
+The :class:`DistributedExecutor` plugs into
+:class:`~repro.sim.sweep.ScenarioRunner` through the
+:class:`~repro.sim.executors.SweepExecutor` interface and fans a
+sweep's pending cells out over the network:
+
+* the **coordinator** (in the runner's process) serves a small
+  request/response TCP protocol on localhost or a LAN address;
+* **workers** (:class:`SweepWorker`, ``python -m repro.sim.distributed
+  worker --connect HOST:PORT``) attach, lease cells, execute them with
+  the exact same :func:`~repro.sim.executors.timed_cell` primitive the
+  serial path uses -- results are byte-identical -- and report back;
+* every dispatch is a **lease with a deadline**: a worker renews its
+  lease while computing, and a lease whose deadline lapses (worker
+  SIGKILL'd, network gone) is reclaimed and re-dispatched under the
+  sweep's :class:`~repro.sim.retry.RetryPolicy` (exponential backoff,
+  deterministic jitter, per-cell attempt caps);
+* an idle worker **steals**: when the ready queue is empty but leases
+  are outstanding past a steal age, it is granted a duplicate lease on
+  the slowest cell.  Commits are idempotent -- the first result for a
+  cell wins, duplicates are counted and discarded -- so stealing (and
+  deliberately duplicated chaos leases) can never double-commit a
+  journalled cell;
+* workers are **elastic**: they may attach and detach mid-sweep, and
+  if none ever show up (or all die) the executor degrades gracefully
+  to in-process execution after a grace period -- a sweep never hangs
+  on an empty cluster.
+
+Trust model: frames are checksummed pickles -- corruption is detected
+and torn frames surface as connection errors, but the protocol
+authenticates nobody.  Run it on localhost or a trusted private
+network only, exactly like a ``ProcessPoolExecutor`` whose workers
+happen to live on other hosts.
+
+Wire protocol (all messages are dicts inside checksummed frames, one
+request + one response per connection):
+
+====================  =================================================
+request                response
+====================  =================================================
+``attach``            ``{ok, poll_s}``
+``detach``            ``{ok}``
+``request``           ``grant`` (lease + cell blob) / ``idle`` / ``done``
+``renew``             ``{ok: bool}`` (False: lease already reclaimed)
+``result``            ``{committed: bool}`` (False: duplicate, discarded)
+``status``            coordinator heartbeat snapshot
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from .executors import (CellFailure, ExecutionContext, ExecutorHeartbeat,
+                        SweepExecutor, timed_cell)
+from .retry import RetryPolicy
+
+__all__ = [
+    "ProtocolError",
+    "send_msg",
+    "recv_msg",
+    "DistStats",
+    "SweepCoordinator",
+    "SweepWorker",
+    "WorkerStats",
+    "DistributedExecutor",
+]
+
+#: Frame magic: "capman distributed", protocol version 1.
+_MAGIC = b"CD1"
+#: Frame header: magic + payload length + sha256[:8] of the payload.
+_HEADER = struct.Struct(">3sI8s")
+#: Hard cap on a single frame (a pickled multi-day result is a few MB;
+#: 256 MB means a corrupt length field fails fast instead of OOMing).
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """A frame failed validation (bad magic, checksum, or length)."""
+
+
+# ----------------------------------------------------------------------
+# Checksummed frames
+# ----------------------------------------------------------------------
+def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one message as a checksummed length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=4)
+    digest = hashlib.sha256(payload).digest()[:8]
+    sock.sendall(_HEADER.pack(_MAGIC, len(payload), digest) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame; raises :class:`ProtocolError` on corruption.
+
+    A torn or tampered frame never silently yields a wrong message:
+    the length, magic and checksum are all validated before the
+    payload is unpickled.
+    """
+    magic, length, digest = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > _MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap")
+    payload = _recv_exact(sock, length)
+    if hashlib.sha256(payload).digest()[:8] != digest:
+        raise ProtocolError("frame checksum mismatch (torn or corrupt)")
+    message = pickle.loads(payload)
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError("frame payload is not a protocol message")
+    return message
+
+
+def rpc(address: Tuple[str, int], message: Dict[str, Any],
+        timeout_s: float = 10.0) -> Dict[str, Any]:
+    """One request/response round trip on a fresh connection."""
+    with socket.create_connection(address, timeout=timeout_s) as sock:
+        send_msg(sock, message)
+        return recv_msg(sock)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class DistStats:
+    """Counters for one distributed run (exported as ``dist.*`` obs
+    counters when a session is live)."""
+
+    leases_granted: int = 0
+    lease_expiries: int = 0
+    steals: int = 0
+    duplicate_results: int = 0
+    retries: int = 0
+    backoff_wait_s: float = 0.0
+    worker_attaches: int = 0
+    worker_detaches: int = 0
+    #: Cells the parent executed in-process (graceful degradation).
+    local_fallback_cells: int = 0
+    #: Cells workers executed remotely.
+    remote_cells: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _Lease:
+    lease_id: str
+    index: int
+    worker: str
+    granted_monotonic: float
+    deadline_monotonic: float
+    #: True when this lease duplicates one still outstanding (a steal
+    #: or a chaos duplicate) rather than a fresh/requeued dispatch.
+    duplicate: bool = False
+
+
+class SweepCoordinator:
+    """Owns the lease table of one distributed sweep.
+
+    All state transitions happen under one lock, and every final
+    outcome flows through :meth:`commit` exactly once per cell index
+    -- the coordinator is what makes work-stealing, duplicate lease
+    delivery and worker loss safe for the journal.
+
+    The server side is a tiny accept loop: one request + one response
+    per connection, so a SIGKILL'd worker leaves no half-open session
+    state behind -- only a lease that will expire.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Any],
+        ctx: ExecutionContext,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout_s: float = 30.0,
+        steal_after_s: Optional[float] = None,
+        worker_timeout_s: Optional[float] = None,
+        poll_s: float = 0.05,
+    ) -> None:
+        self._cells = {cell.index: cell for cell in cells}
+        self._order = [cell.index for cell in cells]
+        self._ctx = ctx
+        self.host = host
+        self.port = port
+        self.lease_timeout_s = lease_timeout_s
+        self.steal_after_s = (steal_after_s if steal_after_s is not None
+                              else lease_timeout_s / 2.0)
+        self.worker_timeout_s = (worker_timeout_s
+                                 if worker_timeout_s is not None
+                                 else lease_timeout_s)
+        self.poll_s = poll_s
+        self.stats = DistStats()
+
+        self._lock = threading.Lock()
+        #: (not-before monotonic, index) dispatch queue, spec order
+        #: preserved among equally-ready cells.
+        self._ready: List[Tuple[float, int]] = [
+            (0.0, index) for index in self._order]
+        self._leases: Dict[str, _Lease] = {}
+        #: index -> number of live leases (1 normally, 2 when stolen).
+        self._active: Dict[int, int] = {}
+        #: index -> failed attempts (expired leases) so far.
+        self._failed: Dict[int, int] = {}
+        self._done: Dict[int, Tuple[int, Any, float, int]] = {}
+        self._origin: Dict[int, str] = {}
+        self._workers: Dict[str, float] = {}
+        self._ever_attached = False
+        #: Deferred (kind, value) events the executor thread drains to
+        #: update SimStats/obs off the handler threads.
+        self._events: List[Tuple[str, float]] = []
+        #: Chaos injection: the next n grants leave the cell queued,
+        #: so a second worker receives the *same* lease content.
+        self._chaos_duplicate_leases = 0
+
+        self._server: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in a daemon thread; returns address."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.host, self.port))
+        server.listen(64)
+        server.settimeout(0.2)
+        self._server = server
+        self.port = server.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._serve, name="sweep-coordinator", daemon=True)
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    # -- server plumbing -----------------------------------------------
+    def _serve(self) -> None:
+        assert self._server is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            handler = threading.Thread(target=self._handle, args=(conn,),
+                                       daemon=True)
+            handler.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(10.0)
+            try:
+                message = recv_msg(conn)
+                response = self._dispatch(message)
+                send_msg(conn, response)
+            except (ConnectionError, OSError, pickle.UnpicklingError):
+                # A torn request (dying worker, partition) is the
+                # sender's problem: its lease will expire and the
+                # cell will be re-dispatched.  Never crash the server.
+                return
+
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "attach":
+            return self._op_attach(str(message["worker"]))
+        if op == "detach":
+            return self._op_detach(str(message["worker"]))
+        if op == "request":
+            return self._op_request(str(message["worker"]))
+        if op == "renew":
+            return self._op_renew(str(message["lease"]))
+        if op == "result":
+            return self._op_result(str(message["lease"]),
+                                   message["payload"])
+        if op == "status":
+            return {"op": "status", **self.snapshot()}
+        return {"op": "error", "error": f"unknown op {op!r}"}
+
+    # -- protocol ops --------------------------------------------------
+    def _mark_seen_locked(self, worker: str) -> None:
+        """Refresh a worker's liveness stamp.
+
+        A worker we are not currently tracking -- never attached, or
+        pruned as silent by :meth:`reap` -- counts as a (re-)attach,
+        so attach/detach accounting stays exactly paired no matter how
+        often a loaded host makes a live worker look dead.
+        """
+        if worker not in self._workers:
+            self.stats.worker_attaches += 1
+            self._ever_attached = True
+        self._workers[worker] = time.monotonic()
+
+    def _op_attach(self, worker: str) -> Dict[str, Any]:
+        with self._lock:
+            self._mark_seen_locked(worker)
+        return {"op": "ok", "poll_s": self.poll_s,
+                "lease_timeout_s": self.lease_timeout_s}
+
+    def _op_detach(self, worker: str) -> Dict[str, Any]:
+        with self._lock:
+            if self._workers.pop(worker, None) is not None:
+                self.stats.worker_detaches += 1
+        return {"op": "ok"}
+
+    def _op_request(self, worker: str) -> Dict[str, Any]:
+        now = time.monotonic()
+        with self._lock:
+            self._mark_seen_locked(worker)
+            self._reap_locked(now)
+            grant = self._next_grant_locked(worker, now)
+            if grant is not None:
+                return grant
+            if len(self._done) == len(self._cells):
+                return {"op": "done"}
+            return {"op": "idle", "wait_s": self.poll_s}
+
+    def _op_renew(self, lease_id: str) -> Dict[str, Any]:
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return {"op": "ok", "ok": False}
+            lease.deadline_monotonic = (time.monotonic()
+                                        + self.lease_timeout_s)
+            self._mark_seen_locked(lease.worker)
+            return {"op": "ok", "ok": True}
+
+    def _op_result(self, lease_id: str, payload: bytes) -> Dict[str, Any]:
+        item = pickle.loads(payload)
+        index = item[0]
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            worker = lease.worker if lease is not None else "unknown"
+            committed = self._commit_locked(index, item, origin="remote")
+            if committed:
+                self.stats.remote_cells += 1
+            if lease is not None:
+                self._workers[worker] = time.monotonic()
+        return {"op": "ok", "committed": committed}
+
+    # -- core state transitions (all _locked) --------------------------
+    def _next_grant_locked(self, worker: str,
+                           now: float) -> Optional[Dict[str, Any]]:
+        index = self._pop_ready_locked(now)
+        steal = False
+        if index is None:
+            index = self._steal_candidate_locked(now)
+            if index is None:
+                return None
+            steal = True
+            self.stats.steals += 1
+        lease = _Lease(
+            lease_id=uuid.uuid4().hex,
+            index=index,
+            worker=worker,
+            granted_monotonic=now,
+            deadline_monotonic=now + self.lease_timeout_s,
+            duplicate=steal,
+        )
+        self._leases[lease.lease_id] = lease
+        self._active[index] = self._active.get(index, 0) + 1
+        self.stats.leases_granted += 1
+        if self._chaos_duplicate_leases > 0 and not steal:
+            # Chaos: leave the cell in the queue too, so another
+            # worker is handed the same cell concurrently.
+            self._chaos_duplicate_leases -= 1
+            self._ready.append((now, index))
+        ctx = self._ctx
+        cell = self._cells[index]
+        return {
+            "op": "grant",
+            "lease": lease.lease_id,
+            "cell": pickle.dumps(cell, protocol=4),
+            "lease_timeout_s": self.lease_timeout_s,
+            "cell_timeout_s": ctx.cell_timeout_s,
+            "ckpt_path": ctx.ckpts.get(index),
+            "ckpt_every": ctx.checkpoint_every_steps,
+            "stall_timeout_s": ctx.stall_timeout_s,
+            "obs_enabled": ctx.obs_enabled,
+        }
+
+    def _pop_ready_locked(self, now: float) -> Optional[int]:
+        """The first dispatchable queue entry (spec order among ready)."""
+        for pos, (not_before, index) in enumerate(self._ready):
+            if index in self._done:
+                # Committed while a duplicate sat queued: drop it.
+                self._ready.pop(pos)
+                return self._pop_ready_locked(now)
+            if not_before <= now:
+                self._ready.pop(pos)
+                return index
+        return None
+
+    def _steal_candidate_locked(self, now: float) -> Optional[int]:
+        """The oldest lease past the steal age with no duplicate yet."""
+        best: Optional[_Lease] = None
+        for lease in self._leases.values():
+            if lease.index in self._done:
+                continue
+            if now - lease.granted_monotonic < self.steal_after_s:
+                continue
+            if self._active.get(lease.index, 0) >= 2:
+                continue  # already duplicated; don't pile on
+            if best is None or lease.granted_monotonic < best.granted_monotonic:
+                best = lease
+        return best.index if best is not None else None
+
+    def _reap_locked(self, now: float) -> None:
+        """Reclaim expired leases; requeue or finally fail their cells."""
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline_monotonic < now]
+        for lease in expired:
+            self._leases.pop(lease.lease_id, None)
+            index = lease.index
+            self._active[index] = max(0, self._active.get(index, 0) - 1)
+            if index in self._done:
+                continue
+            self.stats.lease_expiries += 1
+            self._events.append(("expiry", 1.0))
+            if self._active.get(index, 0) > 0:
+                # A duplicate of this cell is still running; its own
+                # fate decides the cell.
+                continue
+            self._failed[index] = self._failed.get(index, 0) + 1
+            failed = self._failed[index]
+            cell = self._cells[index]
+            if self._ctx.retry.allows(failed):
+                wait = self._ctx.retry.wait_s(failed, token=cell.label)
+                self.stats.retries += 1
+                self.stats.backoff_wait_s += wait
+                self._events.append(("retry", wait))
+                self._ready.append((now + wait, index))
+            else:
+                failure = CellFailure(
+                    label=cell.label,
+                    error_type="LeaseExpiredError",
+                    message=(f"lease expired {failed} times (worker lost "
+                             f"or stalled past {self.lease_timeout_s} s)"),
+                    attempts=failed,
+                )
+                self._commit_locked(index, (index, failure, 0.0, 0),
+                                    origin="expired", adjust_attempts=False)
+
+    def _commit_locked(self, index: int, item: Tuple[int, Any, float, int],
+                       origin: str, adjust_attempts: bool = True) -> bool:
+        """Idempotently record a final outcome; True if it won."""
+        if index in self._done:
+            self.stats.duplicate_results += 1
+            return False
+        outcome = item[1]
+        attempts = self._failed.get(index, 0)
+        # A remotely-reported failure consumed one attempt on top of
+        # the expired ones; an expiry-created failure already carries
+        # its full count.
+        if adjust_attempts and isinstance(outcome, CellFailure) and attempts:
+            outcome = dataclasses.replace(outcome, attempts=attempts + 1)
+            item = (item[0], outcome, item[2], item[3])
+        self._done[index] = item
+        self._origin[index] = origin
+        # Every lease on this cell (steals, chaos duplicates) is now
+        # moot; late results hit the duplicate branch above.
+        for lease_id in [lid for lid, lease in self._leases.items()
+                         if lease.index == index]:
+            self._leases.pop(lease_id)
+        self._active.pop(index, None)
+        self._ctx.finalise(index, outcome)
+        return True
+
+    # -- executor-side API ---------------------------------------------
+    def inject_duplicate_leases(self, n: int) -> None:
+        """Chaos hook: duplicate-deliver the next ``n`` leases."""
+        with self._lock:
+            self._chaos_duplicate_leases += int(n)
+
+    def reap(self) -> None:
+        """Expire stale leases and prune silent workers (executor tick)."""
+        now = time.monotonic()
+        with self._lock:
+            self._reap_locked(now)
+            stale = [worker for worker, seen in self._workers.items()
+                     if now - seen > self.worker_timeout_s]
+            for worker in stale:
+                self._workers.pop(worker, None)
+                self.stats.worker_detaches += 1
+
+    def claim_local(self) -> Optional[Tuple[str, Any]]:
+        """Lease one ready cell to the in-process fallback executor."""
+        now = time.monotonic()
+        with self._lock:
+            index = self._pop_ready_locked(now)
+            if index is None:
+                return None
+            lease = _Lease(
+                lease_id=uuid.uuid4().hex,
+                index=index,
+                worker="__local__",
+                granted_monotonic=now,
+                # The parent cannot SIGKILL itself out from under the
+                # lease; a generous deadline keeps reap() honest anyway.
+                deadline_monotonic=now + max(self.lease_timeout_s, 3600.0),
+            )
+            self._leases[lease.lease_id] = lease
+            self._active[index] = self._active.get(index, 0) + 1
+            self.stats.leases_granted += 1
+            return lease.lease_id, self._cells[index]
+
+    def commit_local(self, lease_id: str,
+                     item: Tuple[int, Any, float, int]) -> bool:
+        with self._lock:
+            self._leases.pop(lease_id, None)
+            committed = self._commit_locked(item[0], item, origin="local")
+            if committed:
+                self.stats.local_fallback_cells += 1
+            return committed
+
+    def drain_events(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            return len(self._done) == len(self._cells)
+
+    @property
+    def live_workers(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    @property
+    def ever_attached(self) -> bool:
+        with self._lock:
+            return self._ever_attached
+
+    def results(self) -> List[Tuple[int, Any, float, int]]:
+        with self._lock:
+            if len(self._done) != len(self._cells):
+                raise RuntimeError(
+                    f"coordinator has {len(self._done)}/{len(self._cells)} "
+                    f"results")
+            return [self._done[index] for index in self._order]
+
+    def origins(self) -> Dict[int, str]:
+        with self._lock:
+            return dict(self._origin)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "cells": len(self._cells),
+                "done": len(self._done),
+                "ready": len(self._ready),
+                "leases": len(self._leases),
+                "workers": len(self._workers),
+                "stats": self.stats.as_dict(),
+            }
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerStats:
+    """What one worker did before the coordinator said ``done``."""
+
+    cells: int = 0
+    failures_reported: int = 0
+    results_discarded: int = 0
+    reconnects: int = 0
+
+
+class _LeaseRenewer(threading.Thread):
+    """Renews one lease on its own connection while a cell computes."""
+
+    def __init__(self, address: Tuple[str, int], lease_id: str,
+                 interval_s: float) -> None:
+        super().__init__(name=f"lease-renew-{lease_id[:8]}", daemon=True)
+        self._address = address
+        self._lease_id = lease_id
+        self._interval_s = max(0.05, interval_s)
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                reply = rpc(self._address,
+                            {"op": "renew", "lease": self._lease_id},
+                            timeout_s=5.0)
+                if not reply.get("ok", False):
+                    return  # lease reclaimed; stop renewing
+            except (ConnectionError, OSError):
+                continue  # transient partition: keep trying until told
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class SweepWorker:
+    """One elastic worker process: attach, lease, compute, report, loop.
+
+    Runs cells on its main thread, so the hard SIGALRM per-cell
+    timeout applies exactly as in a local pool worker.  Connection
+    loss is retried with the worker's own backoff; a coordinator that
+    stays unreachable past the retry budget ends the worker (the sweep
+    is over or the host is gone -- either way there is nothing left to
+    do here).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: Optional[str] = None,
+        poll_s: float = 0.05,
+        rpc_timeout_s: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll_s = poll_s
+        self.rpc_timeout_s = rpc_timeout_s
+        #: Connection retry schedule (not cell retries -- those are the
+        #: coordinator's job).
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=8, backoff_base_s=0.05, backoff_factor=2.0,
+            backoff_max_s=2.0, jitter=0.5, seed=hash(self.worker_id) & 0xffff)
+        self.stats = WorkerStats()
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current cell (detaches)."""
+        self._stop.set()
+
+    def _rpc(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """RPC with connection retries; None when the coordinator is gone."""
+        attempts = 0
+        while True:
+            try:
+                return rpc(self.address, message,
+                           timeout_s=self.rpc_timeout_s)
+            except (ConnectionError, OSError):
+                attempts += 1
+                if not self.retry.allows(attempts):
+                    return None
+                self.stats.reconnects += 1
+                self.retry.sleep(attempts, token=message.get("op", ""))
+
+    def run(self, max_cells: Optional[int] = None) -> WorkerStats:
+        """Work until the coordinator reports the sweep done."""
+        if self._rpc({"op": "attach", "worker": self.worker_id}) is None:
+            return self.stats
+        try:
+            while not self._stop.is_set():
+                if max_cells is not None and self.stats.cells >= max_cells:
+                    break
+                reply = self._rpc({"op": "request",
+                                   "worker": self.worker_id})
+                if reply is None or reply.get("op") == "done":
+                    break
+                if reply.get("op") == "idle":
+                    time.sleep(float(reply.get("wait_s", self.poll_s)))
+                    continue
+                if reply.get("op") != "grant":
+                    break
+                self._execute_grant(reply)
+        finally:
+            self._rpc({"op": "detach", "worker": self.worker_id})
+        return self.stats
+
+    def _execute_grant(self, grant: Dict[str, Any]) -> None:
+        cell = pickle.loads(grant["cell"])
+        lease_id = grant["lease"]
+        renewer = _LeaseRenewer(
+            self.address, lease_id,
+            interval_s=float(grant["lease_timeout_s"]) / 3.0)
+        renewer.start()
+        try:
+            item = timed_cell(
+                cell,
+                grant.get("cell_timeout_s"),
+                grant.get("ckpt_path"),
+                int(grant.get("ckpt_every") or 0),
+                grant.get("stall_timeout_s"),
+                obs_enabled=bool(grant.get("obs_enabled")),
+            )
+        finally:
+            renewer.stop()
+        if isinstance(item[1], CellFailure):
+            self.stats.failures_reported += 1
+        reply = self._rpc({
+            "op": "result",
+            "lease": lease_id,
+            "worker": self.worker_id,
+            "payload": pickle.dumps(item, protocol=4),
+        })
+        self.stats.cells += 1
+        if reply is not None and not reply.get("committed", False):
+            self.stats.results_discarded += 1
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class DistributedExecutor(SweepExecutor):
+    """Sweep backend that coordinates networked lease workers.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the coordinator (port 0 picks a free one; the
+        bound port is on :attr:`coordinator` and in the heartbeat).
+    lease_timeout_s:
+        Lease deadline; workers renew at a third of this, so worker
+        loss is detected within one lease timeout of the last renewal.
+    steal_after_s:
+        Age after which an outstanding lease may be duplicated by an
+        idle worker (default: half the lease timeout).
+    spawn_workers:
+        Convenience: launch this many local worker subprocesses for
+        the duration of each sweep (their PIDs are on
+        :meth:`worker_pids` -- the chaos harness kills them).
+    workers_grace_s:
+        How long to wait for at least one worker before degrading to
+        in-process execution (when ``local_fallback``).
+    local_fallback:
+        When True (default) the parent's own process executes ready
+        cells whenever no live workers exist past the grace period --
+        an empty or fully-dead cluster degrades to exactly the serial
+        path instead of hanging.
+    max_wall_s:
+        Optional hard ceiling on one sweep; on expiry the remaining
+        cells fail as ``DistributedTimeoutError`` CellFailures
+        (only reachable with ``local_fallback=False``).
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout_s: float = 30.0,
+        steal_after_s: Optional[float] = None,
+        spawn_workers: int = 0,
+        workers_grace_s: float = 2.0,
+        local_fallback: bool = True,
+        poll_s: float = 0.02,
+        max_wall_s: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.host = host
+        self.port = port
+        self.lease_timeout_s = lease_timeout_s
+        self.steal_after_s = steal_after_s
+        self.spawn_workers = spawn_workers
+        self.workers_grace_s = workers_grace_s
+        self.local_fallback = local_fallback
+        self.poll_s = poll_s
+        self.max_wall_s = max_wall_s
+        self.coordinator: Optional[SweepCoordinator] = None
+        self.stats: DistStats = DistStats()
+        self._procs: List[subprocess.Popen] = []
+        self._blobs: List[obs.RunTelemetry] = []
+        #: Chaos request carried into the next run's coordinator.
+        self._pending_duplicate_leases = 0
+
+    # -- chaos hooks ---------------------------------------------------
+    def inject_duplicate_leases(self, n: int) -> None:
+        """Duplicate-deliver the next ``n`` leases (live or queued)."""
+        if self.coordinator is not None:
+            self.coordinator.inject_duplicate_leases(n)
+        else:
+            self._pending_duplicate_leases += int(n)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the spawned worker subprocesses still running."""
+        return [proc.pid for proc in self._procs if proc.poll() is None]
+
+    # -- SweepExecutor -------------------------------------------------
+    def run(self, cells: Sequence[Any]) -> List[Tuple[int, Any, float, int]]:
+        ctx = self.ctx
+        coordinator = SweepCoordinator(
+            cells, ctx, host=self.host, port=self.port,
+            lease_timeout_s=self.lease_timeout_s,
+            steal_after_s=self.steal_after_s,
+        )
+        if self._pending_duplicate_leases:
+            coordinator.inject_duplicate_leases(
+                self._pending_duplicate_leases)
+            self._pending_duplicate_leases = 0
+        self.coordinator = coordinator
+        self._blobs = []
+        coordinator.start()
+        started = time.monotonic()
+        try:
+            self._spawn_local_workers(coordinator.address)
+            while not coordinator.finished:
+                coordinator.reap()
+                self._drain_events(ctx)
+                if self.max_wall_s is not None \
+                        and time.monotonic() - started > self.max_wall_s:
+                    self._fail_remaining(coordinator)
+                    break
+                if self._should_fall_back(coordinator, started):
+                    claimed = coordinator.claim_local()
+                    if claimed is not None:
+                        lease_id, cell = claimed
+                        item = timed_cell(
+                            cell, ctx.cell_timeout_s,
+                            ctx.ckpts.get(cell.index),
+                            ctx.checkpoint_every_steps,
+                            ctx.stall_timeout_s)
+                        coordinator.commit_local(lease_id, item)
+                        continue
+                time.sleep(self.poll_s)
+            self._drain_events(ctx)
+            items = coordinator.results()
+            if ctx.obs_enabled:
+                origins = coordinator.origins()
+                for item in items:
+                    if origins.get(item[0]) != "remote":
+                        continue
+                    blob = getattr(item[1], "telemetry", None)
+                    if blob is not None:
+                        self._blobs.append(blob)
+            self._done = len(items)
+            self.stats = coordinator.stats
+            self._export_counters()
+            return items
+        finally:
+            self._reap_local_workers()
+            coordinator.stop()
+
+    def heartbeat(self) -> ExecutorHeartbeat:
+        coordinator = self.coordinator
+        if coordinator is None:
+            return ExecutorHeartbeat(backend=self.name,
+                                     at_monotonic=time.monotonic())
+        snap = coordinator.snapshot()
+        return ExecutorHeartbeat(
+            backend=self.name,
+            at_monotonic=time.monotonic(),
+            workers=snap["workers"],
+            done=snap["done"],
+            in_flight=snap["leases"],
+            detail={"ready": float(snap["ready"]),
+                    "port": float(coordinator.port),
+                    **{k: float(v) for k, v in snap["stats"].items()}},
+        )
+
+    def remote_blobs(self) -> List[obs.RunTelemetry]:
+        blobs, self._blobs = self._blobs, []
+        return blobs
+
+    # -- internals -----------------------------------------------------
+    def _should_fall_back(self, coordinator: SweepCoordinator,
+                          started: float) -> bool:
+        if not self.local_fallback:
+            return False
+        if coordinator.live_workers > 0:
+            return False
+        grace = self.workers_grace_s
+        if coordinator.ever_attached:
+            # Workers existed and all went away: degrade immediately
+            # once their leases have been reaped.
+            return True
+        return time.monotonic() - started >= grace
+
+    def _fail_remaining(self, coordinator: SweepCoordinator) -> None:
+        while True:
+            claimed = coordinator.claim_local()
+            if claimed is None:
+                break
+            lease_id, cell = claimed
+            failure = CellFailure(
+                label=cell.label,
+                error_type="DistributedTimeoutError",
+                message=f"sweep exceeded max_wall_s={self.max_wall_s}",
+            )
+            coordinator.commit_local(lease_id,
+                                     (cell.index, failure, 0.0, 0))
+
+    def _drain_events(self, ctx: ExecutionContext) -> None:
+        coordinator = self.coordinator
+        if coordinator is None:
+            return
+        for kind, value in coordinator.drain_events():
+            if kind == "retry":
+                ctx.count_retry(value)
+
+    def _export_counters(self) -> None:
+        ob = obs.session()
+        if ob is None:
+            return
+        reg = ob.registry
+        for name, value in self.stats.as_dict().items():
+            if value:
+                reg.counter(f"dist.{name}").inc(value)
+
+    def _spawn_local_workers(self, address: Tuple[str, int]) -> None:
+        if not self.spawn_workers:
+            return
+        host, port = address
+        env = dict(os.environ)
+        src_root = _repro_src_root()
+        env["PYTHONPATH"] = (src_root + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src_root)
+        for _ in range(self.spawn_workers):
+            self._procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.sim.distributed", "worker",
+                 "--connect", f"{host}:{port}"],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            ))
+
+    def _reap_local_workers(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+        self._procs = []
+
+
+def _repro_src_root() -> str:
+    """The sys.path root that makes ``import repro`` work in workers."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parse_address(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.sim.distributed worker --connect HOST:PORT``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim.distributed",
+        description="Distributed sweep protocol endpoints")
+    sub = parser.add_subparsers(dest="command", required=True)
+    worker = sub.add_parser(
+        "worker", help="attach to a coordinator and execute leased cells")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    worker.add_argument("--id", default=None, help="worker identity")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after this many cells (default: run "
+                             "until the sweep completes)")
+    status = sub.add_parser("status", help="print a coordinator snapshot")
+    status.add_argument("--connect", required=True, metavar="HOST:PORT")
+    args = parser.parse_args(argv)
+
+    address = _parse_address(args.connect)
+    if args.command == "worker":
+        stats = SweepWorker(address, worker_id=args.id).run(
+            max_cells=args.max_cells)
+        print(f"worker done: {stats.cells} cells "
+              f"({stats.failures_reported} failures, "
+              f"{stats.results_discarded} discarded duplicates, "
+              f"{stats.reconnects} reconnects)")
+        return 0
+    reply = rpc(address, {"op": "status", "worker": "cli"})
+    for key, value in reply.items():
+        if key != "op":
+            print(f"{key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

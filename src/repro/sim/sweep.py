@@ -41,27 +41,24 @@ import hashlib
 import os
 import pickle
 import tempfile
-import threading
 import time
-import traceback as traceback_module
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import obs
 from ..device.profiles import NEXUS, PhoneProfile
-from ..durability.deadline import DeadlineExceededError, thread_deadline
 from ..durability.journal import JournalError, RunJournal, decode_blob, encode_blob
 from ..durability.lock import FileLock
-from ..durability.snapshot import Checkpointer, SimCheckpoint
-from ..durability.state import StateMismatchError
 from ..workload.traces import Trace
-from .daily import MultiDayResult, run_days
-from .discharge import DischargeResult, SchedulingPolicy, run_discharge_cycle
+from .daily import MultiDayResult
+from .discharge import DischargeResult, SchedulingPolicy
+from .executors import (CellFailure, CellTimeoutError, ExecutionContext,
+                        LocalProcessExecutor, SweepExecutor,
+                        choose_timeout_mechanism, timed_cell)
+from .retry import RetryPolicy
 
 __all__ = [
     "ScenarioCell",
@@ -72,46 +69,17 @@ __all__ = [
     "ScenarioRunner",
     "CellFailure",
     "CellTimeoutError",
+    "RetryPolicy",
 ]
 
 #: Result type of a single scenario cell.
 CellResult = Union[DischargeResult, MultiDayResult]
 
-
-class CellTimeoutError(DeadlineExceededError):
-    """A scenario cell exceeded the runner's per-cell timeout.
-
-    Subclasses :class:`~repro.durability.deadline.DeadlineExceededError`
-    so the SIGALRM path and the cooperative-deadline fallback raise the
-    same family of exception -- callers filter on one type either way.
-    """
-
-
-@dataclass(frozen=True)
-class CellFailure:
-    """A scenario cell that could not produce a result.
-
-    Stored in the result slot of its cell so the rest of the sweep
-    stays intact; carries enough to debug the cell offline.
-    """
-
-    #: The failed cell's human-readable label.
-    label: str
-    #: Exception class name (or "BrokenProcessPool" for a dead worker).
-    error_type: str
-    #: Exception message.
-    message: str
-    #: Formatted traceback ("" when the worker died without one).
-    traceback: str = ""
-    #: Execution attempts consumed (1 = no retries needed/left).
-    attempts: int = 1
-
-    def __str__(self) -> str:
-        return f"{self.label}: {self.error_type}: {self.message}"
-
-
 #: What a result slot can hold once failures are contained per cell.
 CellOutcome = Union[DischargeResult, MultiDayResult, CellFailure]
+
+#: Backward-compatible alias (the implementation moved to executors).
+_timed_cell = timed_cell
 
 
 # ----------------------------------------------------------------------
@@ -401,7 +369,19 @@ class SimStats:
     cache_wall_s: float = 0.0
     #: End-to-end wall time of ``ScenarioRunner.run`` (s).
     total_wall_s: float = 0.0
+    #: Backoff wall time spent waiting between retry attempts (s).
+    backoff_wait_s: float = 0.0
     workers: int = 1
+    #: Executor backend that ran the pending cells ("local",
+    #: "distributed", ...; "none" when everything came from cache or
+    #: the journal).
+    executor: str = "none"
+    #: Per-cell timeout mechanism for in-process execution: "none"
+    #: (no budget), "sigalrm" (hard POSIX alarm) or "cooperative"
+    #: (polled per-thread deadline; the off-main-thread / non-POSIX
+    #: fallback).  Pool workers run cells on their own main threads,
+    #: where the POSIX probe gives the same answer as the serial path.
+    timeout_mechanism: str = "none"
 
     @property
     def steps_per_sec(self) -> float:
@@ -497,172 +477,6 @@ def _cell_matches(cell: ScenarioCell, axes: Mapping[str, Any]) -> bool:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _run_cell_once(cell: ScenarioCell,
-                   checkpointer: Optional[Checkpointer],
-                   resume_from: Optional[SimCheckpoint],
-                   stall_timeout_s: Optional[float]) -> CellResult:
-    """One attempt at a cell, optionally durable.
-
-    The policy template and extra run arguments are cloned via a
-    pickle round trip so serial execution sees exactly the fresh-copy
-    semantics that process fan-out gets for free -- results are
-    identical either way.
-    """
-    policy, extra = pickle.loads(pickle.dumps((cell.policy, dict(cell.extra))))
-    durable: Dict[str, Any] = {}
-    if checkpointer is not None:
-        durable["checkpointer"] = checkpointer
-        durable["resume_from"] = resume_from
-    if cell.kind == "daily":
-        result: CellResult = run_days(
-            policy, cell.trace, profile=cell.profile,
-            control_dt=cell.control_dt, max_cycle_s=cell.max_duration_s,
-            **durable, **extra,
-        )
-    else:
-        if stall_timeout_s is not None:
-            durable["stall_timeout_s"] = stall_timeout_s
-        result = run_discharge_cycle(
-            policy, cell.trace, profile=cell.profile,
-            control_dt=cell.control_dt, max_duration_s=cell.max_duration_s,
-            ambient_c=cell.ambient_c, record_every=cell.record_every,
-            **durable, **extra,
-        )
-    return result
-
-
-def _execute_cell(cell: ScenarioCell,
-                  ckpt_path: Optional[str] = None,
-                  ckpt_every: int = 0,
-                  stall_timeout_s: Optional[float] = None) -> CellResult:
-    """Run one scenario cell (worker entry point; must be picklable).
-
-    When ``ckpt_path`` is set (journalled sweeps), the cell writes
-    periodic sidecar checkpoints there and, if a verified sidecar from
-    an interrupted attempt exists, resumes from it instead of starting
-    over.  A sidecar whose configuration fingerprint no longer matches
-    (edited spec under an unchanged key salt) is discarded and the
-    cell recomputes from scratch -- stale state is never trusted.
-    """
-    if ckpt_path is None:
-        return _run_cell_once(cell, None, None, stall_timeout_s)
-    checkpointer = Checkpointer(ckpt_path, every_steps=ckpt_every)
-    resume_from = SimCheckpoint.try_load(ckpt_path)
-    try:
-        return _run_cell_once(cell, checkpointer, resume_from,
-                              stall_timeout_s)
-    except StateMismatchError:
-        if resume_from is None:
-            raise
-        try:
-            os.unlink(ckpt_path)
-        except OSError:
-            pass
-        return _run_cell_once(cell, checkpointer, None, stall_timeout_s)
-
-
-def _execute_with_timeout(cell: ScenarioCell,
-                          timeout_s: Optional[float],
-                          ckpt_path: Optional[str] = None,
-                          ckpt_every: int = 0,
-                          stall_timeout_s: Optional[float] = None) -> CellResult:
-    """Run one cell under a wall-clock budget.
-
-    SIGALRM delivers a hard timeout on the main thread of a POSIX
-    process -- which is exactly where ProcessPoolExecutor workers (and
-    the serial path) run cells.  Anywhere else (worker threads,
-    platforms without ``setitimer``) the budget degrades -- with a
-    warning -- to a cooperative per-thread deadline that the simulation
-    loops poll every control step, instead of silently having no
-    timeout at all.
-    """
-    if not timeout_s or timeout_s <= 0:
-        return _execute_cell(cell, ckpt_path, ckpt_every, stall_timeout_s)
-    use_alarm = False
-    try:
-        import signal
-        use_alarm = (hasattr(signal, "setitimer")
-                     and threading.current_thread() is threading.main_thread())
-    except ImportError:  # pragma: no cover - signal is POSIX-universal
-        pass
-    message = f"cell exceeded the per-cell timeout of {timeout_s} s"
-    if not use_alarm:
-        warnings.warn(
-            "SIGALRM is unavailable off the main thread / on this "
-            "platform; the per-cell timeout falls back to a cooperative "
-            "deadline polled by the simulation loop (best-effort)",
-            RuntimeWarning, stacklevel=2)
-        with thread_deadline(timeout_s, message, exc_type=CellTimeoutError):
-            return _execute_cell(cell, ckpt_path, ckpt_every,
-                                 stall_timeout_s)
-
-    def _on_alarm(signum, frame):
-        raise CellTimeoutError(message)
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        return _execute_cell(cell, ckpt_path, ckpt_every, stall_timeout_s)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _timed_cell(
-    cell: ScenarioCell, timeout_s: Optional[float] = None,
-    ckpt_path: Optional[str] = None, ckpt_every: int = 0,
-    stall_timeout_s: Optional[float] = None,
-    obs_enabled: bool = False,
-) -> Tuple[int, CellOutcome, float, int]:
-    """(index, outcome, compute seconds, steps) for one cell.
-
-    The measured wall time is harvested into :class:`SimStats` and the
-    result's own ``wall_time_s`` is zeroed, keeping payloads (and hence
-    cache entries and parallel-vs-serial comparisons) deterministic.
-    An exception inside the cell (including a timeout) is captured as a
-    :class:`CellFailure` instead of propagating -- one broken scenario
-    must not abort the grid.
-
-    ``obs_enabled`` propagates the parent's observability switch into
-    pool workers: a worker with no session of its own configures a
-    local null-exporter session so the cell's telemetry is harvested
-    onto the result (which rides back over the existing result
-    channel) and tears it down afterwards, keeping the pooled process
-    clean for the next cell.
-    """
-    local_obs = False
-    if obs_enabled and obs.session() is None:
-        obs.configure(enabled=True)
-        local_obs = True
-    ob = obs.session()
-    cell_span = (ob.tracer.start("cell", label=cell.label)
-                 if ob is not None else None)
-    started = time.perf_counter()
-    try:
-        try:
-            result: CellOutcome = _execute_with_timeout(
-                cell, timeout_s, ckpt_path, ckpt_every, stall_timeout_s)
-        except Exception as exc:
-            elapsed = time.perf_counter() - started
-            failure = CellFailure(
-                label=cell.label,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=traceback_module.format_exc(),
-            )
-            return cell.index, failure, elapsed, 0
-        elapsed = time.perf_counter() - started
-        steps = int(getattr(result, "step_count", 0))
-        if hasattr(result, "wall_time_s"):
-            result.wall_time_s = 0.0
-        return cell.index, result, elapsed, steps
-    finally:
-        if cell_span is not None:
-            cell_span.finish()
-        if local_obs:
-            obs.disable()
-
-
 def _fleet_cell_supported(cell: ScenarioCell) -> bool:
     """Whether the fleet backend can batch this cell exactly."""
     if cell.kind != "discharge" or cell.extra:
@@ -728,10 +542,26 @@ class ScenarioRunner:
         single-cell pools so a crash-looping cell cannot take healthy
         cells down with it.  Exceptions raised *inside* a cell are
         deterministic simulator failures and are reported immediately
-        without retry.
+        without retry.  Legacy shorthand for
+        ``retry=RetryPolicy.from_retries(retries)``.
+    retry:
+        A full :class:`~repro.sim.retry.RetryPolicy` (max attempts,
+        exponential backoff, deterministic seeded jitter) governing
+        infrastructure retries; overrides ``retries`` when given.
+        The default is byte-equivalent to the historic behaviour
+        (one immediate retry, no waiting).
     cell_timeout_s:
         Optional per-cell wall-clock budget; a cell over budget is
         reported as a :class:`CellFailure` (``CellTimeoutError``).
+        The mechanism actually used (hard SIGALRM on POSIX main
+        threads, cooperative polled deadline elsewhere) is surfaced
+        as ``SimStats.timeout_mechanism``.
+    executor:
+        A :class:`~repro.sim.executors.SweepExecutor` backend, or
+        ``None`` for the default
+        :class:`~repro.sim.executors.LocalProcessExecutor` (serial /
+        process-pool, governed by ``workers``).  The distributed TCP
+        backend lives in :mod:`repro.sim.distributed`.
     journal:
         Optional path of a write-ahead run journal.  :meth:`run` then
         records every cell start and every committed result durably
@@ -773,6 +603,8 @@ class ScenarioRunner:
         checkpoint_every_steps: int = 0,
         stall_timeout_s: Optional[float] = None,
         backend: str = "scalar",
+        retry: Optional[RetryPolicy] = None,
+        executor: Optional[SweepExecutor] = None,
     ) -> None:
         if workers == 0:
             workers = os.cpu_count() or 1
@@ -783,8 +615,11 @@ class ScenarioRunner:
         self._salt = salt
         if retries < 0:
             raise ValueError("retries must be non-negative")
-        self.retries = retries
+        self.retry = (retry if retry is not None
+                      else RetryPolicy.from_retries(retries))
+        self.retries = self.retry.retries
         self.cell_timeout_s = cell_timeout_s
+        self.executor = executor
         self.journal = Path(journal) if journal is not None else None
         if checkpoint_every_steps < 0:
             raise ValueError("checkpoint_every_steps must be non-negative")
@@ -874,6 +709,8 @@ class ScenarioRunner:
              salt: Optional[str]) -> SweepResult:
         run_started = time.perf_counter()
         stats = SimStats(workers=self.workers)
+        stats.timeout_mechanism = choose_timeout_mechanism(
+            self.cell_timeout_s)
 
         # Observability (default off).  One scope spans the sweep;
         # serially computed cells nest their cycle scopes inside it,
@@ -980,17 +817,32 @@ class ScenarioRunner:
                 computed: List[Tuple[int, CellOutcome, float, int]] = []
                 if fleet_batch:
                     computed.extend(_run_fleet_batch(fleet_batch))
-                parallel = self.workers > 1 and len(pending) > 1
-                if parallel:
-                    computed.extend(self._run_parallel(pending, stats, ckpts,
-                                                       _finalise))
-                else:
-                    for cell in pending:
-                        item = _timed_cell(
-                            cell, self.cell_timeout_s, ckpts.get(cell.index),
-                            self.checkpoint_every_steps, self.stall_timeout_s)
-                        computed.append(item)
-                        _finalise(item[0], item[1])
+                if pending:
+                    executor = self.executor or LocalProcessExecutor(
+                        self.workers)
+                    ctx = ExecutionContext(
+                        cell_timeout_s=self.cell_timeout_s,
+                        ckpts=ckpts,
+                        checkpoint_every_steps=self.checkpoint_every_steps,
+                        stall_timeout_s=self.stall_timeout_s,
+                        retry=self.retry,
+                        workers=self.workers,
+                        obs_enabled=observing,
+                        on_final=_finalise,
+                        stats=stats,
+                    )
+                    executor.attach(ctx)
+                    try:
+                        computed.extend(executor.run(pending))
+                    finally:
+                        executor.detach()
+                    stats.executor = executor.name
+                    if observing:
+                        # Serially computed cells already merged their
+                        # cycle scopes into the sweep scope in-process;
+                        # remote cells ship their blobs on the result,
+                        # and the executor tells them apart.
+                        remote_blobs.extend(executor.remote_blobs())
                 for index, result, elapsed, steps in computed:
                     results[index] = result
                     stats.compute_wall_s += elapsed
@@ -998,13 +850,6 @@ class ScenarioRunner:
                     stats.cells_computed += 1
                     if isinstance(result, CellFailure):
                         stats.cells_failed += 1
-                    if observing and parallel:
-                        # Serially computed cells already merged their
-                        # cycle scopes into the sweep scope in-process;
-                        # remote cells ship their blobs on the result.
-                        blob = getattr(result, "telemetry", None)
-                        if blob is not None:
-                            remote_blobs.append(blob)
                 if self.cache is not None:
                     cache_started = time.perf_counter()
                     for index, result, _, _ in computed:
@@ -1028,7 +873,13 @@ class ScenarioRunner:
                 sweep_span.finish()
                 reg = scope.registry
                 for name, value in stats.as_dict().items():
-                    if name in ("workers", "steps_per_sec"):
+                    # backoff_wait_s (and sweep.retries) are counted
+                    # live by ExecutionContext.count_retry at retry
+                    # time; exporting the stats field again would
+                    # double-count them.
+                    if (name in ("workers", "steps_per_sec",
+                                 "backoff_wait_s")
+                            or not isinstance(value, (int, float))):
                         continue
                     reg.counter(f"sweep.{name}").inc(value)
                 telemetry = scope.telemetry()
@@ -1039,74 +890,3 @@ class ScenarioRunner:
         return SweepResult(cells=cells, results=list(results), stats=stats,  # type: ignore[arg-type]
                            telemetry=telemetry)
 
-    # ------------------------------------------------------------------
-    def _run_parallel(
-        self, pending: Sequence[ScenarioCell], stats: SimStats,
-        ckpts: Optional[Dict[int, str]] = None,
-        on_final: Optional[Callable[[int, "CellOutcome"], None]] = None,
-    ) -> List[Tuple[int, CellOutcome, float, int]]:
-        """Fan out with containment for killed workers.
-
-        Exceptions raised *inside* a cell never reach the pool (the
-        worker converts them to :class:`CellFailure` payloads); the
-        only way a future raises here is infrastructure failure -- the
-        worker process died (OOM-kill, segfault, ``os._exit``), which
-        breaks the whole pool and poisons every in-flight future.
-        Those cells are retried in fresh *single-cell* pools, so a
-        cell that reliably kills its worker exhausts only its own
-        retry budget while the innocent bystanders complete.
-        """
-        outcomes: Dict[int, Tuple[int, CellOutcome, float, int]] = {}
-        attempts: Dict[int, int] = {cell.index: 0 for cell in pending}
-        ckpts = ckpts or {}
-        # Propagate the parent's observability switch into workers so
-        # each cell harvests its telemetry onto the returned result.
-        obs_on = obs.enabled()
-        todo: List[ScenarioCell] = list(pending)
-        isolate = False
-        while todo:
-            retry: List[ScenarioCell] = []
-            groups = [[cell] for cell in todo] if isolate else [todo]
-            for group in groups:
-                workers = min(self.workers, len(group))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        (pool.submit(_timed_cell, cell, self.cell_timeout_s,
-                                     ckpts.get(cell.index),
-                                     self.checkpoint_every_steps,
-                                     self.stall_timeout_s, obs_on),
-                         cell)
-                        for cell in group
-                    ]
-                    for future, cell in futures:
-                        try:
-                            index, outcome, elapsed, steps = future.result()
-                        except Exception as exc:
-                            attempts[cell.index] += 1
-                            if attempts[cell.index] > self.retries:
-                                failure = CellFailure(
-                                    label=cell.label,
-                                    error_type=type(exc).__name__,
-                                    message=str(exc) or "worker process died",
-                                    attempts=attempts[cell.index],
-                                )
-                                outcomes[cell.index] = (cell.index, failure,
-                                                        0.0, 0)
-                                if on_final is not None:
-                                    on_final(cell.index, failure)
-                            else:
-                                stats.cell_retries += 1
-                                retry.append(cell)
-                            continue
-                        if (isinstance(outcome, CellFailure)
-                                and attempts[cell.index]):
-                            outcome = dataclasses.replace(
-                                outcome,
-                                attempts=attempts[cell.index] + 1)
-                        outcomes[cell.index] = (index, outcome, elapsed, steps)
-                        if on_final is not None:
-                            on_final(index, outcome)
-            todo = retry
-            # After any pool breakage, quarantine survivors one per pool.
-            isolate = True
-        return [outcomes[cell.index] for cell in pending]

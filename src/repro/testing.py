@@ -1,0 +1,39 @@
+"""Importable test doubles shared by the test suite and smoke scripts.
+
+Chaos and distributed-sweep tests need policies that are slow (so a
+SIGKILL lands *mid-cell*) or hostile (so containment is exercised)
+while remaining **picklable by module path** -- a distributed worker
+is a fresh ``python -m repro.sim.distributed`` process that can import
+``repro.testing`` but not a pytest-mangled test module.  Keeping these
+doubles here, next to the code they stress, is what lets the same
+classes serve unit tests, the CI smoke scripts and ad-hoc two-terminal
+experiments.
+
+The delays burn wall time only; the simulated physics (and therefore
+every result byte) are identical to the undelayed base policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .capman.baselines import DualPolicy
+
+__all__ = ["SlowDualPolicy"]
+
+
+@dataclass
+class SlowDualPolicy(DualPolicy):
+    """A DualPolicy that wastes ``delay_s`` of wall time per cell.
+
+    Slowing the cell down guarantees fault injection (worker SIGKILL,
+    cache partition) lands while work is genuinely in flight instead
+    of after the sweep already finished.
+    """
+
+    delay_s: float = 0.4
+
+    def build_pack(self):
+        time.sleep(self.delay_s)
+        return super().build_pack()

@@ -1,0 +1,180 @@
+"""Tests for the networked sweep cache and for FileLock/SweepCache
+under real multi-process contention and torn writes."""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.durability.lock import FileLock
+from repro.sim.cache_server import CacheServer, NetworkSweepCache
+from repro.sim.retry import RetryPolicy
+from repro.sim.sweep import SweepCache
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = CacheServer(tmp_path / "served")
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _client(server, tmp_path, **kwargs):
+    kwargs.setdefault("rpc_timeout_s", 1.0)
+    kwargs.setdefault("probe_interval_s", 0.05)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=1))
+    return NetworkSweepCache(server.address, tmp_path / "fallback", **kwargs)
+
+
+class TestNetworkCache:
+    def test_round_trip_and_cross_client_hits(self, server, tmp_path):
+        writer = _client(server, tmp_path / "a")
+        writer.put("key1", {"value": 42})
+        reader = _client(server, tmp_path / "b")  # fresh fallback dir
+        assert reader.get("key1") == {"value": 42}
+        assert reader.get("missing") is None
+        assert reader.stats.remote_hits == 1
+        assert reader.stats.remote_misses == 1
+        assert writer.stats.remote_puts == 1
+
+    def test_is_a_sweep_cache(self, server, tmp_path):
+        # Drop-in for any cache= argument: the isinstance gate in
+        # ScenarioRunner must accept it.
+        assert isinstance(_client(server, tmp_path), SweepCache)
+
+    def test_partition_falls_back_and_reconciles_on_heal(
+            self, server, tmp_path):
+        cache = _client(server, tmp_path)
+        server.partition()
+        cache.put("k", "computed-during-partition")
+        assert cache.partitioned
+        assert cache.get("k") == "computed-during-partition"  # local
+        assert cache.stats.fallback_puts == 1
+        assert cache.stats.fallback_gets == 1
+        server.heal()
+        time.sleep(cache.probe_interval_s * 1.5)
+        assert cache.flush()
+        assert not cache.partitioned
+        assert cache.stats.heals == 1
+        assert cache.stats.reconciled_puts == 1
+        # The reconciled entry now serves any other client remotely.
+        other = _client(server, tmp_path / "other")
+        assert other.get("k") == "computed-during-partition"
+
+    def test_torn_reply_is_treated_as_partition_not_data(
+            self, server, tmp_path):
+        cache = _client(server, tmp_path)
+        cache.put("k", [1, 2, 3])
+        server.inject_torn_replies(1)
+        # The torn frame fails its checksum; the client must fall back
+        # (and still answer correctly from its local copy), not crash
+        # or return garbage.
+        assert cache.get("k") == [1, 2, 3]
+        assert cache.stats.partitions_detected == 1
+        assert server.stats.torn_replies == 1
+        time.sleep(cache.probe_interval_s * 1.5)
+        assert cache.flush()  # server is fine again: heals
+
+    def test_server_never_serves_a_corrupt_entry(self, server, tmp_path):
+        cache = _client(server, tmp_path)
+        cache.put("k", "good")
+        # Corrupt the entry at rest on the server (torn write survived
+        # a crash, cosmic ray, ...): the next get must be a miss --
+        # never an exception, never wrong bytes.
+        entry = server.store._path("k")
+        entry.write_bytes(b"\x80\x04 definitely not a pickle")
+        fresh = _client(server, tmp_path / "fresh")
+        assert fresh.get("k") is None
+        assert not entry.exists()  # quarantined on read
+
+    def test_unreachable_server_degrades_immediately(self, tmp_path):
+        # A dead address: every op completes locally, no exception.
+        dead = NetworkSweepCache(("127.0.0.1", 1), tmp_path / "f",
+                                 rpc_timeout_s=0.2, probe_interval_s=0.05,
+                                 retry=RetryPolicy(max_attempts=1))
+        dead.put("k", "v")
+        assert dead.get("k") == "v"
+        assert dead.partitioned
+        assert not dead.flush()  # still down: buffer is kept
+        assert dead.stats.partitions_detected >= 1
+
+
+# ----------------------------------------------------------------------
+# Multi-process contention (satellite: FileLock / SweepCache)
+# ----------------------------------------------------------------------
+def _hammer_put(directory, key, worker_id, rounds):
+    cache = SweepCache(directory)
+    for i in range(rounds):
+        cache.put(key, {"worker": worker_id, "round": i})
+
+
+def _die_holding_lock(lock_path, held_event):
+    lock = FileLock(lock_path)
+    lock.acquire()
+    held_event.set()
+    os.kill(os.getpid(), signal.SIGKILL)  # die without releasing
+
+
+class TestCacheContention:
+    def test_concurrent_writers_same_key_never_corrupt(self, tmp_path):
+        directory = tmp_path / "shared"
+        key = "contested"
+        workers = [
+            multiprocessing.Process(target=_hammer_put,
+                                    args=(str(directory), key, w, 25))
+            for w in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        cache = SweepCache(directory)
+        observed = 0
+        corrupt = 0
+        while any(proc.is_alive() for proc in workers):
+            value = cache.get(key)
+            if value is not None:
+                observed += 1
+                if not (isinstance(value, dict) and "worker" in value):
+                    corrupt += 1
+        for proc in workers:
+            proc.join(timeout=30.0)
+            assert proc.exitcode == 0
+        assert corrupt == 0
+        assert observed > 0  # reads genuinely overlapped the writes
+        final = cache.get(key)
+        assert isinstance(final, dict) and final["round"] == 24
+
+    def test_torn_write_is_a_miss_not_poison(self, tmp_path):
+        cache = SweepCache(tmp_path / "c")
+        cache.put("k", "original")
+        good_bytes = cache._path("k").read_bytes()
+        # Simulate a torn write reaching the final path: truncate the
+        # entry mid-pickle.
+        cache._path("k").write_bytes(good_bytes[: len(good_bytes) // 2])
+        assert cache.get("k") is None  # miss, not an exception
+        assert not cache._path("k").exists()  # torn entry quarantined
+        cache.put("k", "recomputed")
+        assert cache.get("k") == "recomputed"
+
+    def test_lock_holder_death_releases_the_lock(self, tmp_path):
+        lock_path = tmp_path / "c" / ".lock"
+        held = multiprocessing.Event()
+        child = multiprocessing.Process(target=_die_holding_lock,
+                                        args=(str(lock_path), held))
+        child.start()
+        assert held.wait(timeout=10.0)
+        child.join(timeout=10.0)
+        assert child.exitcode == -signal.SIGKILL
+        # The kernel released the dead holder's flock: acquiring now
+        # must succeed promptly instead of wedging the cache forever.
+        survivor = FileLock(lock_path)
+        survivor.acquire()
+        assert survivor.held
+        survivor.release()
+        # And the cache built on it writes normally.
+        cache = SweepCache(tmp_path / "c")
+        cache.put("k", "after-crash")
+        assert cache.get("k") == "after-crash"
