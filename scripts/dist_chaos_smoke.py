@@ -15,30 +15,51 @@ What it does, end to end:
    * the journal committed every cell exactly once -- duplicate
      leases and stolen work never double-commit.
 
-Exits 0 on success, 1 on any violated guarantee.  CI runs this as the
-``dist-chaos-smoke`` job; it is also handy locally after touching the
-distributed backend::
+With ``--kill-coordinator`` the drill instead targets the coordinator
+itself: a child process runs a journalled, authenticated distributed
+sweep, the parent SIGKILLs it while cells are committed *and* leases
+are in flight, then restarts it from the journal on the same port.
+The restarted coordinator must replay every committed cell with zero
+recomputation, reclaim the orphaned leases through the retry policy,
+re-attach the surviving worker fleet, and finish byte-identical to
+serial with every journal cell committed exactly once.
+
+Exits 0 on success, 1 on any violated guarantee.  CI runs these as the
+``dist-chaos-smoke`` and ``coordinator-failover-smoke`` jobs; they are
+also handy locally after touching the distributed backend::
 
     python scripts/dist_chaos_smoke.py
+    python scripts/dist_chaos_smoke.py --kill-coordinator
 """
 
+import argparse
+import json
+import os
 import pickle
+import signal
+import socket
+import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parents[1]
 if str(_REPO / "src") not in sys.path:
     sys.path.insert(0, str(_REPO / "src"))
+if str(_REPO / "tests") not in sys.path:
+    sys.path.insert(0, str(_REPO / "tests"))
 
 from repro.sim.cache_server import CacheServer, NetworkSweepCache  # noqa: E402
 from repro.sim.chaos import (BackendChaos, journal_commit_counts,  # noqa: E402
-                             run_backend_chaos)
+                             journal_lease_grants, run_backend_chaos)
 from repro.sim.distributed import DistributedExecutor  # noqa: E402
 from repro.sim.sweep import ScenarioRunner, SweepSpec  # noqa: E402
 from repro.testing import SlowDualPolicy  # noqa: E402
 from repro.workload.generators import VideoWorkload  # noqa: E402
 from repro.workload.traces import record_trace  # noqa: E402
+
+import dist_failover_helper  # noqa: E402  (from tests/)
 
 
 def _spec() -> SweepSpec:
@@ -112,5 +133,171 @@ def main() -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# --kill-coordinator: SIGKILL + restart-from-journal failover drill
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _failover_env() -> dict:
+    env = dict(os.environ)
+    extra = os.pathsep.join([str(_REPO / "src"), str(_REPO / "tests")])
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{extra}{os.pathsep}{current}" if current else extra
+    # The drill runs fully authenticated end to end.
+    env.setdefault("CAPMAN_DIST_SECRET", "failover-drill-secret")
+    return env
+
+
+def _spawn_incarnation(run_dir: Path, port: int, spawn_workers: int,
+                       env: dict, tag: str) -> subprocess.Popen:
+    code = ("import sys, dist_failover_helper; "
+            "dist_failover_helper.main(sys.argv[1], int(sys.argv[2]), "
+            "int(sys.argv[3]))")
+    log = open(run_dir / f"{tag}.log", "wb")
+    try:
+        return subprocess.Popen(
+            [sys.executable, "-c", code, str(run_dir), str(port),
+             str(spawn_workers)],
+            env=env, stdout=log, stderr=subprocess.STDOUT)
+    finally:
+        log.close()
+
+
+def _journal_state(journal: Path):
+    try:
+        return journal_commit_counts(journal), journal_lease_grants(journal)
+    except Exception:
+        return {}, {}
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+        return True
+    except (ProcessLookupError, PermissionError):
+        return False
+
+
+def kill_coordinator_drill() -> int:
+    if not hasattr(signal, "SIGKILL"):
+        print("[coordinator-failover] SKIP: POSIX only")
+        return 0
+    spec = dist_failover_helper.build_spec()
+    total = len(spec)
+    print(f"[coordinator-failover] reference serial run ({total} cells)...")
+    serial = ScenarioRunner(workers=1).run(spec)
+
+    run_dir = Path(tempfile.mkdtemp(prefix="coord-failover-"))
+    journal = run_dir / "run.journal"
+    pids_file = run_dir / "worker_pids.json"
+    port = _free_port()
+    env = _failover_env()
+    worker_pids = []
+    first = second = None
+    failures = []
+    try:
+        print("[coordinator-failover] first incarnation up "
+              f"(port {port}, 2 TCP workers)...")
+        first = _spawn_incarnation(run_dir, port, spawn_workers=2,
+                                   env=env, tag="first")
+        deadline = time.monotonic() + 180.0
+        while time.monotonic() < deadline:
+            if first.poll() is not None:
+                print("[coordinator-failover] FAIL: first incarnation "
+                      "finished before the kill window")
+                return 1
+            commits, grants = _journal_state(journal)
+            in_flight = [i for i in grants if i not in commits]
+            if (pids_file.exists() and 2 <= len(commits) < total
+                    and in_flight):
+                break
+            time.sleep(0.01)
+        else:
+            print("[coordinator-failover] FAIL: kill window never opened")
+            return 1
+        worker_pids = json.loads(pids_file.read_text())
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=30.0)
+
+        commits_at_kill, grants_at_kill = _journal_state(journal)
+        orphaned = {index: count for index, count in grants_at_kill.items()
+                    if index not in commits_at_kill}
+        surviving = [pid for pid in worker_pids if _alive(pid)]
+        print(f"[coordinator-failover] SIGKILLed coordinator with "
+              f"{len(commits_at_kill)}/{total} cells committed, "
+              f"{sum(orphaned.values())} orphaned lease grants, "
+              f"{len(surviving)} surviving workers")
+        if not orphaned:
+            failures.append("no in-flight dispatch state survived")
+        if not surviving:
+            failures.append("no worker survived the coordinator SIGKILL")
+
+        print("[coordinator-failover] restarting from the journal on the "
+              "same port...")
+        second = _spawn_incarnation(run_dir, port, spawn_workers=0,
+                                    env=env, tag="second")
+        if second.wait(timeout=180.0) != 0:
+            tail = (run_dir / "second.log").read_bytes()[-2000:]
+            print(tail.decode(errors="replace"))
+            failures.append(
+                f"second incarnation exited {second.returncode}")
+        else:
+            counts = journal_commit_counts(journal)
+            stats = json.loads((run_dir / "stats.json").read_text())
+            print(f"[coordinator-failover] resumed {stats['cells_resumed']} "
+                  f"cells, computed {stats['cells_computed']}, recovered "
+                  f"{stats['dist_recovered_leases']} leases, "
+                  f"{stats['dist_worker_attaches']} worker attaches")
+            if sorted(counts) != [cell.index for cell in spec.expand()]:
+                failures.append("journal is missing cell commits (lost cells)")
+            if set(counts.values()) != {1}:
+                failures.append("a journal cell committed more than once")
+            if stats["cells_resumed"] != len(commits_at_kill):
+                failures.append(
+                    f"recomputed committed cells: resumed "
+                    f"{stats['cells_resumed']} != {len(commits_at_kill)}")
+            if stats["cells_failed"]:
+                failures.append(f"{stats['cells_failed']} cells failed")
+            if stats["dist_recovered_leases"] != sum(orphaned.values()):
+                failures.append(
+                    f"lease recovery mismatch: "
+                    f"{stats['dist_recovered_leases']} recovered != "
+                    f"{sum(orphaned.values())} orphaned")
+            if stats["dist_worker_attaches"] < len(surviving):
+                failures.append("surviving workers did not all re-attach")
+            final = pickle.loads((run_dir / "result.pkl").read_bytes())
+            if final != _cell_bytes(serial):
+                failures.append("failover result differs from serial bytes")
+    finally:
+        for proc in (first, second):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        for pid in worker_pids:
+            if _alive(pid):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+
+    if failures:
+        for failure in failures:
+            print(f"[coordinator-failover] FAIL: {failure}")
+        return 1
+    print(f"[coordinator-failover] OK: {total} cells byte-identical to "
+          "serial across the coordinator SIGKILL, zero lost cells, zero "
+          "double commits, zero recomputed committed cells")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kill-coordinator", action="store_true",
+                        help="run the coordinator SIGKILL + "
+                             "restart-from-journal failover drill")
+    args = parser.parse_args()
+    sys.exit(kill_coordinator_drill() if args.kill_coordinator else main())

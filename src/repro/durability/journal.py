@@ -24,6 +24,7 @@ import base64
 import hashlib
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -68,6 +69,11 @@ class RunJournal:
             _truncate(self.path, good_bytes)
         self._seq = records[-1]["seq"] + 1 if records else 0
         self._fh = self.path.open("a", encoding="utf-8")
+        # Appends are serialised: the distributed coordinator journals
+        # lease grants from connection-handler threads while the runner
+        # thread journals commits, and interleaved writes would tear
+        # both records.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -81,19 +87,24 @@ class RunJournal:
         return self._dropped
 
     def append(self, rtype: str, data: Dict[str, Any]) -> int:
-        """Durably append one record; returns its sequence number."""
-        if self._fh is None:
-            raise JournalError("journal is closed")
+        """Durably append one record; returns its sequence number.
+
+        Thread-safe: concurrent appenders are serialised, each record
+        is fully written and fsync'd before the next begins.
+        """
         ob = obs.session()
         started = time.monotonic() if ob is not None else 0.0
-        seq = self._seq
-        record = {"seq": seq, "type": rtype, "data": data,
-                  "crc": _record_crc(seq, rtype, data)}
-        self._fh.write(json.dumps(record, sort_keys=True,
-                                  separators=(",", ":")) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-        self._seq += 1
+        with self._lock:
+            if self._fh is None:
+                raise JournalError("journal is closed")
+            seq = self._seq
+            record = {"seq": seq, "type": rtype, "data": data,
+                      "crc": _record_crc(seq, rtype, data)}
+            self._fh.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._seq += 1
         if ob is not None:
             reg = ob.registry
             reg.counter("durability.journal_appends").inc()
@@ -102,9 +113,10 @@ class RunJournal:
         return seq
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -29,8 +29,11 @@ only staleness possible is a *miss* that a fresher server would have
 hit, and a miss just means recomputing -- correctness never depends
 on cache freshness.
 
-Like the distributed coordinator, frames are integrity-checked but
-unauthenticated: localhost / trusted-network use only.
+Like the distributed coordinator, the server rides on the shared
+:class:`~repro.sim.distributed.FrameServer` shell: frames are
+checksummed, HMAC-authenticated when ``CAPMAN_DIST_SECRET`` is set,
+size-bounded, and subject to read deadlines and per-connection
+admission control.
 """
 
 from __future__ import annotations
@@ -38,13 +41,13 @@ from __future__ import annotations
 import pickle
 import socket
 import threading
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Set, Tuple, Union
 
-from .distributed import ProtocolError, recv_msg, rpc, send_msg
-from .retry import RetryPolicy
+from .. import obs
+from .distributed import FrameServer, ProtocolError, rpc, send_msg
+from .retry import CircuitBreaker, RetryPolicy
 from .sweep import SweepCache
 
 __all__ = [
@@ -100,7 +103,9 @@ class CacheServer:
     """
 
     def __init__(self, directory: Union[str, Path],
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64,
+                 read_deadline_s: float = 10.0) -> None:
         self.store = SweepCache(directory)
         self.host = host
         self.port = port
@@ -108,39 +113,28 @@ class CacheServer:
         self._lock = threading.Lock()
         self._partitioned = threading.Event()
         self._torn_replies = 0
-        self._server: Optional[socket.socket] = None
-        self._thread: Optional[threading.Thread] = None
-        self._stopping = threading.Event()
+        self._frames = FrameServer(
+            handler=self._handler, host=host, port=port,
+            name="cache-server", max_connections=max_connections,
+            read_deadline_s=read_deadline_s,
+            gate=self._gate, sender=self._send_reply)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> Tuple[str, int]:
-        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        server.bind((self.host, self.port))
-        server.listen(64)
-        server.settimeout(0.2)
-        self._server = server
-        self.port = server.getsockname()[1]
-        self._thread = threading.Thread(target=self._serve,
-                                        name="cache-server", daemon=True)
-        self._thread.start()
+        self.host, self.port = self._frames.start()
         return self.host, self.port
 
     def stop(self) -> None:
-        self._stopping.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        if self._server is not None:
-            try:
-                self._server.close()
-            except OSError:
-                pass
-            self._server = None
+        self._frames.stop()
 
     @property
     def address(self) -> Tuple[str, int]:
         return self.host, self.port
+
+    @property
+    def frame_stats(self):
+        """Hostile-peer counters of the underlying frame server."""
+        return self._frames.stats
 
     # -- chaos hooks ---------------------------------------------------
     def partition(self) -> None:
@@ -162,30 +156,21 @@ class CacheServer:
             self._torn_replies += int(n)
 
     # -- plumbing ------------------------------------------------------
-    def _serve(self) -> None:
-        assert self._server is not None
-        while not self._stopping.is_set():
-            try:
-                conn, _ = self._server.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            threading.Thread(target=self._handle, args=(conn,),
-                             daemon=True).start()
+    def _gate(self, conn: socket.socket) -> bool:
+        if self._partitioned.is_set():
+            self.stats.partitioned_drops += 1
+            return False  # close without replying: the partition
+        return True
 
-    def _handle(self, conn: socket.socket) -> None:
-        with conn:
-            conn.settimeout(10.0)
-            if self._partitioned.is_set():
-                self.stats.partitioned_drops += 1
-                return  # close without replying: the partition
-            try:
-                message = recv_msg(conn)
-                reply = self._dispatch(message)
-                self._send_reply(conn, reply)
-            except (ConnectionError, OSError, pickle.UnpicklingError):
-                self.stats.bad_requests += 1
+    def _handler(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            return self._dispatch(message)
+        except Exception:
+            # A structurally valid frame carrying a broken request
+            # (unpicklable payload, wrong field types) is the sender's
+            # problem; never crash the handler thread.
+            self.stats.bad_requests += 1
+            return {"op": "error", "error": "bad request"}
 
     def _send_reply(self, conn: socket.socket,
                     reply: Dict[str, Any]) -> None:
@@ -194,7 +179,7 @@ class CacheServer:
             if tear:
                 self._torn_replies -= 1
         if not tear:
-            send_msg(conn, reply)
+            send_msg(conn, reply, secret=self._frames.secret or b"")
             return
         # Emit a deliberately torn frame: a valid header whose payload
         # stops halfway.  The checksum (or the cut itself) must make
@@ -249,6 +234,9 @@ class CacheClientStats:
     heals: int = 0
     #: Locally-buffered puts replayed to the server on heal.
     reconciled_puts: int = 0
+    #: Remote ops refused instantly by the open circuit breaker
+    #: (served locally without burning a connection timeout).
+    breaker_short_circuits: int = 0
 
 
 class NetworkSweepCache(SweepCache):
@@ -260,13 +248,18 @@ class NetworkSweepCache(SweepCache):
     the inherited directory doubles as the local fallback store and
     the reconciliation buffer.
 
-    Failure handling is one-way-door-free: any remote error marks the
-    client partitioned and the operation completes locally.  While
-    partitioned, at most one probe per ``probe_interval_s`` checks the
-    server (so a sweep is never throttled by per-cell connection
-    timeouts); a successful probe replays the locally buffered puts
-    and resumes remote operation.  :meth:`flush` forces a final
-    probe-and-reconcile, e.g. at the end of a sweep.
+    Failure handling is one-way-door-free: remote errors feed a
+    :class:`~repro.sim.retry.CircuitBreaker` and every operation
+    completes locally while it is open.  ``failure_threshold``
+    consecutive failures trip the circuit (default 1: the first
+    failure flips the client into partition mode, the historic
+    behaviour); while open, remote calls are refused instantly —
+    no per-cell connection timeouts — until one half-open probe per
+    ``probe_interval_s`` checks the server.  A successful probe
+    replays the locally buffered puts and resumes remote operation.
+    :meth:`flush` forces a final probe-and-reconcile, e.g. at the end
+    of a sweep.  Breaker transitions surface as
+    ``dist.cache_breaker_*`` obs counters when a session is live.
     """
 
     def __init__(
@@ -276,43 +269,64 @@ class NetworkSweepCache(SweepCache):
         rpc_timeout_s: float = 5.0,
         probe_interval_s: float = 0.5,
         retry: Optional[RetryPolicy] = None,
+        failure_threshold: int = 1,
     ) -> None:
         super().__init__(directory)
         self.address = (str(address[0]), int(address[1]))
         self.rpc_timeout_s = rpc_timeout_s
         self.probe_interval_s = probe_interval_s
-        #: In-line retry schedule for one remote op before declaring a
-        #: partition (default: one quick second chance).
+        #: In-line retry schedule for one remote op before the failure
+        #: counts against the breaker (default: one quick second
+        #: chance).
         self.retry = retry if retry is not None else RetryPolicy(
             max_attempts=2, backoff_base_s=0.05, backoff_max_s=0.2)
+        self.breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                                      reset_timeout_s=probe_interval_s)
         self.stats = CacheClientStats()
         self._mutex = threading.Lock()
-        self._partitioned = False
-        self._last_probe = 0.0
         self._pending: Set[str] = set()
 
-    # -- partition bookkeeping -----------------------------------------
+    # -- breaker bookkeeping -------------------------------------------
     @property
     def partitioned(self) -> bool:
-        with self._mutex:
-            return self._partitioned
+        return not self.breaker.closed
 
-    def _mark_partitioned(self) -> None:
-        with self._mutex:
-            if not self._partitioned:
-                self._partitioned = True
-                self.stats.partitions_detected += 1
-            self._last_probe = time.monotonic()
+    @staticmethod
+    def _obs_inc(name: str) -> None:
+        ob = obs.session()
+        if ob is not None:
+            ob.registry.counter(name).inc()
 
-    def _should_probe(self) -> bool:
-        with self._mutex:
-            if not self._partitioned:
-                return False
-            now = time.monotonic()
-            if now - self._last_probe < self.probe_interval_s:
-                return False
-            self._last_probe = now
+    def _record_remote_failure(self) -> None:
+        trips_before = self.breaker.stats.trips
+        self.breaker.record_failure()
+        if self.breaker.stats.trips > trips_before:
+            self.stats.partitions_detected += 1
+            self._obs_inc("dist.cache_breaker_trips")
+
+    def _record_remote_success(self) -> None:
+        closes_before = self.breaker.stats.closes
+        self.breaker.record_success()
+        if self.breaker.stats.closes > closes_before:
+            self.stats.heals += 1
+            self._obs_inc("dist.cache_breaker_heals")
+
+    def _admit(self) -> bool:
+        """May a remote op be issued now?
+
+        Open circuit: refuse instantly (the caller serves locally).
+        Half-open: the breaker lets exactly one call through, and we
+        spend it on :meth:`_probe_and_heal` so the buffered puts are
+        reconciled before normal remote traffic resumes.
+        """
+        was_closed = self.breaker.closed
+        if not self.breaker.allow():
+            self.stats.breaker_short_circuits += 1
+            self._obs_inc("dist.cache_breaker_shortcircuits")
+            return False
+        if was_closed:
             return True
+        return self._probe_and_heal()
 
     def _rpc(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         """One remote op with quick in-line retries; None on failure."""
@@ -332,10 +346,10 @@ class NetworkSweepCache(SweepCache):
         """Try the server; on success replay buffered puts. True if up."""
         reply = self._rpc({"op": "cache_ping"})
         if reply is None:
+            self._record_remote_failure()
             return False
         with self._mutex:
             pending = sorted(self._pending)
-        replayed = 0
         for key in pending:
             value = super().get(key)
             if value is None:
@@ -344,37 +358,33 @@ class NetworkSweepCache(SweepCache):
                 "op": "cache_put", "key": key,
                 "payload": pickle.dumps(value, protocol=4)})
             if reply is None:
+                self._record_remote_failure()
                 return False  # partition is back; keep the buffer
-            replayed += 1
             with self._mutex:
                 self._pending.discard(key)
-        with self._mutex:
-            if self._partitioned:
-                self._partitioned = False
-                self.stats.heals += 1
-            self.stats.reconciled_puts += replayed
+            self.stats.reconciled_puts += 1
+        self._record_remote_success()
         return True
 
     def flush(self) -> bool:
-        """Force a probe + reconcile now; True when the server is
-        reachable and the buffer is empty."""
-        with self._mutex:
-            self._last_probe = time.monotonic()
+        """Force a probe + reconcile now (bypassing the breaker's
+        reset window); True when the server is reachable and the
+        buffer is empty."""
         ok = self._probe_and_heal()
         with self._mutex:
             return ok and not self._pending
 
     # -- SweepCache interface ------------------------------------------
     def get(self, key: str):
-        if self.partitioned:
-            if not (self._should_probe() and self._probe_and_heal()):
-                self.stats.fallback_gets += 1
-                return super().get(key)
-        reply = self._rpc({"op": "cache_get", "key": key})
-        if reply is None:
-            self._mark_partitioned()
+        if not self._admit():
             self.stats.fallback_gets += 1
             return super().get(key)
+        reply = self._rpc({"op": "cache_get", "key": key})
+        if reply is None:
+            self._record_remote_failure()
+            self.stats.fallback_gets += 1
+            return super().get(key)
+        self._record_remote_success()
         if not reply.get("hit"):
             self.stats.remote_misses += 1
             # The server may have missed what we hold locally (it was
@@ -395,19 +405,19 @@ class NetworkSweepCache(SweepCache):
         # partition at any later point can only lose remote
         # deduplication, never the result itself.
         super().put(key, result)
-        if self.partitioned:
-            if not (self._should_probe() and self._probe_and_heal()):
-                with self._mutex:
-                    self._pending.add(key)
-                self.stats.fallback_puts += 1
-                return
-        reply = self._rpc({
-            "op": "cache_put", "key": key,
-            "payload": pickle.dumps(result, protocol=4)})
-        if reply is None:
-            self._mark_partitioned()
+        if not self._admit():
             with self._mutex:
                 self._pending.add(key)
             self.stats.fallback_puts += 1
             return
+        reply = self._rpc({
+            "op": "cache_put", "key": key,
+            "payload": pickle.dumps(result, protocol=4)})
+        if reply is None:
+            self._record_remote_failure()
+            with self._mutex:
+                self._pending.add(key)
+            self.stats.fallback_puts += 1
+            return
+        self._record_remote_success()
         self.stats.remote_puts += 1

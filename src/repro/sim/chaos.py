@@ -56,6 +56,7 @@ __all__ = [
     "BackendChaosReport",
     "run_backend_chaos",
     "journal_commit_counts",
+    "journal_lease_grants",
 ]
 
 #: Separator between policy and scenario in the sweep's policy keys.
@@ -343,6 +344,29 @@ def journal_commit_counts(path: Union[str, Path]) -> Dict[int, int]:
         if record["type"] != "cell_commit":
             continue
         index = int(record["data"]["index"])
+        counts[index] = counts.get(index, 0) + 1
+    return counts
+
+
+def journal_lease_grants(path: Union[str, Path],
+                         include_duplicates: bool = False) -> Dict[int, int]:
+    """``lease_grant`` records per cell index in a run journal.
+
+    The distributed coordinator journals every grant before the lease
+    leaves the process, so a grant count exceeding the commit count
+    for an index is exactly the dispatch state a restarted coordinator
+    must reclaim.  Steal/duplicate grants are flagged in the record
+    and excluded by default -- they do not charge the cell's failure
+    budget on recovery.
+    """
+    counts: Dict[int, int] = {}
+    for record in RunJournal.replay(path, recover=False):
+        if record["type"] != "lease_grant":
+            continue
+        data = record["data"]
+        if data.get("duplicate", False) and not include_duplicates:
+            continue
+        index = int(data["index"])
         counts[index] = counts.get(index, 0) + 1
     return counts
 

@@ -28,8 +28,16 @@ sweep's pending cells out over the network:
   on an empty cluster.
 
 Trust model: frames are checksummed pickles -- corruption is detected
-and torn frames surface as connection errors, but the protocol
-authenticates nobody.  Run it on localhost or a trusted private
+and torn frames surface as connection errors.  With
+``CAPMAN_DIST_SECRET`` set (same value on every host), the checksum
+becomes an HMAC-SHA256 tag: a frame from a peer without the secret --
+or tampered in flight -- is rejected before its payload is unpickled,
+which matters because unpickling attacker-controlled bytes is code
+execution.  Servers additionally bound frame sizes, enforce a read
+deadline per connection (a slow-dripping client cannot hold a handler
+thread hostage) and cap concurrent connections (excess peers are shed
+with a closed socket, never by stalling dispatch).  Without a secret
+the protocol authenticates nobody: localhost or a trusted private
 network only, exactly like a ``ProcessPoolExecutor`` whose workers
 happen to live on other hosts.
 
@@ -52,6 +60,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import hmac
 import os
 import pickle
 import socket
@@ -61,8 +70,9 @@ import sys
 import threading
 import time
 import uuid
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
 from .. import obs
 from .executors import (CellFailure, ExecutionContext, ExecutorHeartbeat,
@@ -71,8 +81,13 @@ from .retry import RetryPolicy
 
 __all__ = [
     "ProtocolError",
+    "AuthenticationError",
+    "CoordinatorUnreachableError",
+    "protocol_secret",
     "send_msg",
     "recv_msg",
+    "FrameServer",
+    "FrameServerStats",
     "DistStats",
     "SweepCoordinator",
     "SweepWorker",
@@ -82,32 +97,92 @@ __all__ = [
 
 #: Frame magic: "capman distributed", protocol version 1.
 _MAGIC = b"CD1"
-#: Frame header: magic + payload length + sha256[:8] of the payload.
+#: Frame header: magic + payload length + 8-byte payload tag (plain
+#: sha256 prefix, or HMAC-SHA256 prefix when a secret is configured).
 _HEADER = struct.Struct(">3sI8s")
 #: Hard cap on a single frame (a pickled multi-day result is a few MB;
 #: 256 MB means a corrupt length field fails fast instead of OOMing).
 _MAX_FRAME = 256 * 1024 * 1024
+
+#: Environment variable carrying the shared protocol secret.
+SECRET_ENV = "CAPMAN_DIST_SECRET"
 
 
 class ProtocolError(ConnectionError):
     """A frame failed validation (bad magic, checksum, or length)."""
 
 
+class AuthenticationError(ProtocolError):
+    """A frame carried a valid plain checksum but no/wrong HMAC tag --
+    the peer does not hold ``CAPMAN_DIST_SECRET``."""
+
+
+class CoordinatorUnreachableError(ConnectionError):
+    """The coordinator stayed unreachable past a worker's per-call
+    retry budget.  Distinct from the sweep being *done*: the caller
+    should ride out the outage (the coordinator may be restarting from
+    its journal), not exit."""
+
+
+def protocol_secret() -> Optional[bytes]:
+    """The shared frame secret from ``CAPMAN_DIST_SECRET`` (or None).
+
+    Read fresh on every call so tests (and long-lived processes whose
+    environment is updated) see changes without re-importing.
+    """
+    value = os.environ.get(SECRET_ENV)
+    if not value:
+        return None
+    return value.encode("utf-8")
+
+
+def _frame_tag(payload: bytes, secret: Optional[bytes]) -> bytes:
+    """8-byte payload tag: keyed (HMAC) when a secret is configured."""
+    if secret:
+        return hmac.new(secret, payload, hashlib.sha256).digest()[:8]
+    return hashlib.sha256(payload).digest()[:8]
+
+
 # ----------------------------------------------------------------------
-# Checksummed frames
+# Checksummed (optionally authenticated) frames
 # ----------------------------------------------------------------------
-def send_msg(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Send one message as a checksummed length-prefixed frame."""
+def send_msg(sock: socket.socket, message: Dict[str, Any],
+             secret: Optional[bytes] = None) -> None:
+    """Send one message as a tagged length-prefixed frame.
+
+    ``secret=None`` picks up :func:`protocol_secret` from the
+    environment; pass ``b""`` to force an unauthenticated frame.
+    """
+    if secret is None:
+        secret = protocol_secret()
     payload = pickle.dumps(message, protocol=4)
-    digest = hashlib.sha256(payload).digest()[:8]
-    sock.sendall(_HEADER.pack(_MAGIC, len(payload), digest) + payload)
+    tag = _frame_tag(payload, secret)
+    sock.sendall(_HEADER.pack(_MAGIC, len(payload), tag) + payload)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
+def _recv_exact(sock: socket.socket, n: int,
+                deadline: Optional[float] = None) -> bytes:
+    """Read exactly ``n`` bytes, under an absolute monotonic deadline.
+
+    The deadline bounds the *whole* read, re-armed before every chunk:
+    a peer dripping one byte per poll (slowloris) trips it just like a
+    silent one, surfacing as :class:`ProtocolError` instead of holding
+    the handler thread for the per-chunk socket timeout times ``n``.
+    """
     chunks = []
     got = 0
     while got < n:
-        chunk = sock.recv(n - got)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ProtocolError(
+                    f"read deadline exceeded mid-frame ({got}/{n} bytes)")
+            sock.settimeout(remaining)
+        try:
+            chunk = sock.recv(n - got)
+        except socket.timeout:
+            raise ProtocolError(
+                f"read deadline exceeded mid-frame ({got}/{n} bytes)")
         if not chunk:
             raise ConnectionError(
                 f"connection closed mid-frame ({got}/{n} bytes)")
@@ -116,20 +191,40 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+def recv_msg(sock: socket.socket, secret: Optional[bytes] = None,
+             deadline_s: Optional[float] = None,
+             max_frame: int = _MAX_FRAME) -> Dict[str, Any]:
     """Receive one frame; raises :class:`ProtocolError` on corruption.
 
     A torn or tampered frame never silently yields a wrong message:
-    the length, magic and checksum are all validated before the
-    payload is unpickled.
+    the length, magic and tag are all validated *before* the payload
+    is unpickled -- with a secret configured, an unauthenticated or
+    tampered payload is never handed to ``pickle.loads`` at all.
+
+    ``secret=None`` reads :func:`protocol_secret` from the
+    environment; ``b""`` forces plain checksumming.  ``deadline_s``
+    bounds the whole receive (header + payload) in wall seconds;
+    ``max_frame`` rejects oversized length fields before any payload
+    allocation.
     """
-    magic, length, digest = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if secret is None:
+        secret = protocol_secret()
+    deadline = (time.monotonic() + deadline_s
+                if deadline_s is not None else None)
+    magic, length, tag = _HEADER.unpack(
+        _recv_exact(sock, _HEADER.size, deadline))
     if magic != _MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if length > _MAX_FRAME:
+    if length > max_frame:
         raise ProtocolError(f"frame length {length} exceeds cap")
-    payload = _recv_exact(sock, length)
-    if hashlib.sha256(payload).digest()[:8] != digest:
+    payload = _recv_exact(sock, length, deadline)
+    if not hmac.compare_digest(_frame_tag(payload, secret), tag):
+        if secret and hmac.compare_digest(_frame_tag(payload, b""), tag):
+            # Intact plain-checksummed frame from a peer without the
+            # secret: an authentication failure, not line noise.
+            raise AuthenticationError(
+                "frame is not authenticated (peer is missing "
+                f"{SECRET_ENV} or holds a different secret)")
         raise ProtocolError("frame checksum mismatch (torn or corrupt)")
     message = pickle.loads(payload)
     if not isinstance(message, dict) or "op" not in message:
@@ -138,11 +233,174 @@ def recv_msg(sock: socket.socket) -> Dict[str, Any]:
 
 
 def rpc(address: Tuple[str, int], message: Dict[str, Any],
-        timeout_s: float = 10.0) -> Dict[str, Any]:
+        timeout_s: float = 10.0,
+        secret: Optional[bytes] = None) -> Dict[str, Any]:
     """One request/response round trip on a fresh connection."""
     with socket.create_connection(address, timeout=timeout_s) as sock:
-        send_msg(sock, message)
-        return recv_msg(sock)
+        send_msg(sock, message, secret=secret)
+        return recv_msg(sock, secret=secret, deadline_s=timeout_s)
+
+
+# ----------------------------------------------------------------------
+# Shared server shell: accept loop + admission control + hardening
+# ----------------------------------------------------------------------
+@dataclass
+class FrameServerStats:
+    """Hostile-peer accounting for one :class:`FrameServer`."""
+
+    connections: int = 0
+    #: Connections closed unserved because the admission cap was full.
+    connections_shed: int = 0
+    #: Frames rejected for framing reasons (bad magic/length/checksum,
+    #: torn reads, blown read deadlines).
+    protocol_errors: int = 0
+    #: Intact frames rejected for a missing/wrong HMAC tag.
+    auth_failures: int = 0
+
+
+class FrameServer:
+    """One-request-per-connection TCP server over tagged frames.
+
+    The shared shell under :class:`SweepCoordinator` and
+    :class:`~repro.sim.cache_server.CacheServer`: accept loop in a
+    daemon thread, one handler thread per connection, and the
+    hardening that keeps a malformed or hostile peer from stalling
+    dispatch --
+
+    * **admission control**: at most ``max_connections`` handler
+      threads; excess connections are closed immediately (the client
+      sees a reset and retries) instead of queueing behind a slow peer;
+    * **read deadline**: each connection gets ``read_deadline_s`` of
+      wall clock to deliver its full request frame, dripped bytes
+      included;
+    * **authentication**: frames are verified against
+      :func:`protocol_secret` (resolved at :meth:`start`) before
+      anything is unpickled; failures are counted, the connection is
+      closed without a reply, and the handler thread moves on.
+
+    ``gate`` (returning False to drop a connection unserved) and
+    ``sender`` (replacing :func:`send_msg` for replies) are chaos
+    hooks used by the cache server's partition / torn-reply injection.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Dict[str, Any]], Dict[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "frame-server",
+        max_connections: int = 64,
+        read_deadline_s: float = 10.0,
+        gate: Optional[Callable[[socket.socket], bool]] = None,
+        sender: Optional[
+            Callable[[socket.socket, Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.name = name
+        self.max_connections = max_connections
+        self.read_deadline_s = read_deadline_s
+        self.gate = gate
+        self.sender = sender
+        self.stats = FrameServerStats()
+        self._secret: Optional[bytes] = None
+        self._slots = threading.Semaphore(max_connections)
+        self._server: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in a daemon thread; returns address."""
+        self._secret = protocol_secret()
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.host, self.port))
+        server.listen(64)
+        server.settimeout(0.2)
+        self._server = server
+        self.port = server.getsockname()[1]
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._serve, name=self.name, daemon=True)
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def secret(self) -> Optional[bytes]:
+        """The frame secret resolved at :meth:`start` (None before)."""
+        return self._secret
+
+    def _serve(self) -> None:
+        assert self._server is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.stats.connections += 1
+            if not self._slots.acquire(blocking=False):
+                # Every handler slot is busy: shed this peer instead of
+                # queueing it behind whatever is slow.  Healthy clients
+                # treat the reset as a transient error and retry.
+                self.stats.connections_shed += 1
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(self.read_deadline_s)
+                if self.gate is not None and not self.gate(conn):
+                    return
+                try:
+                    message = recv_msg(conn, secret=self._secret,
+                                       deadline_s=self.read_deadline_s)
+                except AuthenticationError:
+                    self.stats.auth_failures += 1
+                    return  # close without a reply; nothing unpickled
+                except ProtocolError:
+                    self.stats.protocol_errors += 1
+                    return
+                except (ConnectionError, OSError,
+                        pickle.UnpicklingError):
+                    # A torn request (dying peer, partition) is the
+                    # sender's problem.  Never crash the server.
+                    self.stats.protocol_errors += 1
+                    return
+                reply = self.handler(message)
+                try:
+                    if self.sender is not None:
+                        self.sender(conn, reply)
+                    else:
+                        send_msg(conn, reply, secret=self._secret)
+                except (ConnectionError, OSError):
+                    return  # peer vanished mid-reply: its retry problem
+        finally:
+            self._slots.release()
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +423,15 @@ class DistStats:
     local_fallback_cells: int = 0
     #: Cells workers executed remotely.
     remote_cells: int = 0
+    #: Coordinator-state records written to the run journal.
+    journal_records: int = 0
+    #: In-flight leases inherited from a crashed coordinator's journal
+    #: and expired/re-dispatched on restart.
+    recovered_leases: int = 0
+    #: Hostile-peer accounting, folded in from the frame server.
+    auth_failures: int = 0
+    protocol_errors: int = 0
+    connections_shed: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return dataclasses.asdict(self)
@@ -190,9 +457,23 @@ class SweepCoordinator:
     -- the coordinator is what makes work-stealing, duplicate lease
     delivery and worker loss safe for the journal.
 
-    The server side is a tiny accept loop: one request + one response
-    per connection, so a SIGKILL'd worker leaves no half-open session
-    state behind -- only a lease that will expire.
+    The server side is a :class:`FrameServer`: one request + one
+    response per connection, so a SIGKILL'd worker leaves no half-open
+    session state behind -- only a lease that will expire.
+
+    **Crash durability.**  When the execution context carries a
+    journal hook (``ctx.journal_append``), every lease grant and
+    renewal is written through the run journal *before* the reply
+    leaves this process, alongside the commits the runner already
+    journals.  A SIGKILLed coordinator therefore leaves a complete
+    account of its dispatch state: on restart (``ScenarioRunner.resume``)
+    the committed cells are replayed without recomputation, and every
+    lease that was in flight at the kill (``ctx.replayed_grants``) is
+    treated as expired -- charged one attempt and re-dispatched
+    through the sweep's :class:`~repro.sim.retry.RetryPolicy`, or
+    finally failed if its budget is spent.  Surviving workers
+    re-attach and re-deliver results by cell index, so first-commit-
+    wins dedupe holds across the crash exactly as within one run.
     """
 
     def __init__(
@@ -205,6 +486,8 @@ class SweepCoordinator:
         steal_after_s: Optional[float] = None,
         worker_timeout_s: Optional[float] = None,
         poll_s: float = 0.05,
+        max_connections: int = 64,
+        read_deadline_s: float = 10.0,
     ) -> None:
         self._cells = {cell.index: cell for cell in cells}
         self._order = [cell.index for cell in cells]
@@ -241,67 +524,91 @@ class SweepCoordinator:
         #: so a second worker receives the *same* lease content.
         self._chaos_duplicate_leases = 0
 
-        self._server: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._stopping = threading.Event()
+        self._frames = FrameServer(
+            handler=self._dispatch, host=host, port=port,
+            name="sweep-coordinator", max_connections=max_connections,
+            read_deadline_s=read_deadline_s)
+
+        self._recover_replayed_grants()
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> Tuple[str, int]:
         """Bind, listen and serve in a daemon thread; returns address."""
-        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        server.bind((self.host, self.port))
-        server.listen(64)
-        server.settimeout(0.2)
-        self._server = server
-        self.port = server.getsockname()[1]
-        self._accept_thread = threading.Thread(
-            target=self._serve, name="sweep-coordinator", daemon=True)
-        self._accept_thread.start()
+        self.host, self.port = self._frames.start()
         return self.host, self.port
 
     def stop(self) -> None:
-        self._stopping.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-            self._accept_thread = None
-        if self._server is not None:
-            try:
-                self._server.close()
-            except OSError:
-                pass
-            self._server = None
+        self._frames.stop()
+        self._sync_frame_stats()
 
     @property
     def address(self) -> Tuple[str, int]:
         return self.host, self.port
 
-    # -- server plumbing -----------------------------------------------
-    def _serve(self) -> None:
-        assert self._server is not None
-        while not self._stopping.is_set():
-            try:
-                conn, _ = self._server.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            handler = threading.Thread(target=self._handle, args=(conn,),
-                                       daemon=True)
-            handler.start()
+    @property
+    def frame_stats(self) -> "FrameServerStats":
+        return self._frames.stats
 
-    def _handle(self, conn: socket.socket) -> None:
-        with conn:
-            conn.settimeout(10.0)
-            try:
-                message = recv_msg(conn)
-                response = self._dispatch(message)
-                send_msg(conn, response)
-            except (ConnectionError, OSError, pickle.UnpicklingError):
-                # A torn request (dying worker, partition) is the
-                # sender's problem: its lease will expire and the
-                # cell will be re-dispatched.  Never crash the server.
-                return
+    def _sync_frame_stats(self) -> None:
+        frames = self._frames.stats
+        self.stats.auth_failures = frames.auth_failures
+        self.stats.protocol_errors = frames.protocol_errors
+        self.stats.connections_shed = frames.connections_shed
+
+    # -- journal / crash recovery --------------------------------------
+    def _journal_locked(self, rtype: str, data: Dict[str, Any]) -> None:
+        """Write one coordinator-state record through the run journal.
+
+        Called under the coordinator lock *before* the state change is
+        visible to any peer, so the journal is a true write-ahead log:
+        a grant a worker ever saw has a durable record.
+        """
+        if self._ctx.journal_append is None:
+            return
+        self._ctx.journal_append(rtype, data)
+        self.stats.journal_records += 1
+
+    def _recover_replayed_grants(self) -> None:
+        """Expire leases inherited from a crashed coordinator.
+
+        ``ctx.replayed_grants`` maps cell index -> dispatch episodes a
+        previous coordinator journalled without a matching commit.
+        Each such cell was in flight (or about to be) at the crash:
+        charge the attempts, then re-dispatch through the retry policy
+        -- with its backoff and jitter, exactly like a lease that
+        expired in-process -- or finally fail the cell if the crash
+        consumed its whole budget.  Runs in the constructor, before
+        the server accepts connections.
+        """
+        if not self._ctx.replayed_grants:
+            return
+        now = time.monotonic()
+        for index, grants in sorted(self._ctx.replayed_grants.items()):
+            if index not in self._cells or grants <= 0:
+                continue
+            self.stats.recovered_leases += grants
+            self.stats.lease_expiries += grants
+            self._failed[index] = self._failed.get(index, 0) + grants
+            failed = self._failed[index]
+            cell = self._cells[index]
+            self._ready = [(nb, i) for nb, i in self._ready if i != index]
+            if self._ctx.retry.allows(failed):
+                wait = self._ctx.retry.wait_s(failed, token=cell.label)
+                self.stats.retries += 1
+                self.stats.backoff_wait_s += wait
+                self._events.append(("retry", wait))
+                self._ready.append((now + wait, index))
+            else:
+                failure = CellFailure(
+                    label=cell.label,
+                    error_type="LeaseExpiredError",
+                    message=(f"lease expired {failed} times across "
+                             f"coordinator restarts (retry budget spent "
+                             f"before the crash)"),
+                    attempts=failed,
+                )
+                self._commit_locked(index, (index, failure, 0.0, 0),
+                                    origin="expired", adjust_attempts=False)
 
     def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
         op = message.get("op")
@@ -366,6 +673,9 @@ class SweepCoordinator:
             lease.deadline_monotonic = (time.monotonic()
                                         + self.lease_timeout_s)
             self._mark_seen_locked(lease.worker)
+            self._journal_locked("lease_renew", {
+                "lease": lease_id, "index": lease.index,
+                "worker": lease.worker})
             return {"op": "ok", "ok": True}
 
     def _op_result(self, lease_id: str, payload: bytes) -> Dict[str, Any]:
@@ -403,6 +713,13 @@ class SweepCoordinator:
         self._leases[lease.lease_id] = lease
         self._active[index] = self._active.get(index, 0) + 1
         self.stats.leases_granted += 1
+        # WAL: the grant is durable before the worker ever sees it, so
+        # a coordinator crash can never lose track of in-flight work.
+        # Duplicates (steals) are flagged: they are not a fresh
+        # dispatch episode and recovery must not double-charge them.
+        self._journal_locked("lease_grant", {
+            "index": index, "lease": lease.lease_id, "worker": worker,
+            "duplicate": steal})
         if self._chaos_duplicate_leases > 0 and not steal:
             # Chaos: leave the cell in the queue too, so another
             # worker is handed the same cell concurrently.
@@ -487,6 +804,13 @@ class SweepCoordinator:
     def _commit_locked(self, index: int, item: Tuple[int, Any, float, int],
                        origin: str, adjust_attempts: bool = True) -> bool:
         """Idempotently record a final outcome; True if it won."""
+        if index not in self._cells:
+            # After a coordinator restart this table holds only the
+            # *pending* cells; a surviving worker re-delivering a cell
+            # that was committed before the crash lands here.  Same
+            # verdict as any duplicate: discarded, counted, harmless.
+            self.stats.duplicate_results += 1
+            return False
         if index in self._done:
             self.stats.duplicate_results += 1
             return False
@@ -545,6 +869,9 @@ class SweepCoordinator:
             self._leases[lease.lease_id] = lease
             self._active[index] = self._active.get(index, 0) + 1
             self.stats.leases_granted += 1
+            self._journal_locked("lease_grant", {
+                "index": index, "lease": lease.lease_id,
+                "worker": "__local__", "duplicate": False})
             return lease.lease_id, self._cells[index]
 
     def commit_local(self, lease_id: str,
@@ -589,6 +916,7 @@ class SweepCoordinator:
             return dict(self._origin)
 
     def snapshot(self) -> Dict[str, Any]:
+        self._sync_frame_stats()
         with self._lock:
             return {
                 "cells": len(self._cells),
@@ -611,6 +939,14 @@ class WorkerStats:
     failures_reported: int = 0
     results_discarded: int = 0
     reconnects: int = 0
+    #: Coordinator outages ridden out (unreachable past the per-call
+    #: budget, then reachable again before the reconnect window closed).
+    outages_survived: int = 0
+    #: Successful re-attaches after an outage.
+    reattaches: int = 0
+    #: Computed results delivered only after riding out an outage --
+    #: work a pre-failover worker would have thrown away by exiting.
+    results_redelivered: int = 0
 
 
 class _LeaseRenewer(threading.Thread):
@@ -644,10 +980,17 @@ class SweepWorker:
 
     Runs cells on its main thread, so the hard SIGALRM per-cell
     timeout applies exactly as in a local pool worker.  Connection
-    loss is retried with the worker's own backoff; a coordinator that
-    stays unreachable past the retry budget ends the worker (the sweep
-    is over or the host is gone -- either way there is nothing left to
-    do here).
+    loss inside one RPC is retried with the worker's own backoff;
+    a coordinator unreachable past that budget raises
+    :class:`CoordinatorUnreachableError` -- which the main loop treats
+    as an *outage*, not as the sweep ending.  The worker then probes
+    the address with seeded jittered backoff for up to
+    ``reconnect_timeout_s`` (a coordinator SIGKILLed mid-sweep and
+    restarted from its journal re-adopts its surviving fleet this
+    way), re-attaches, and -- crucially -- re-delivers any result it
+    had computed during the outage, so in-flight work survives the
+    crash without recomputation.  Only an explicit ``done`` reply, or
+    an outage that outlives the reconnect window, ends the worker.
     """
 
     def __init__(
@@ -657,6 +1000,7 @@ class SweepWorker:
         poll_s: float = 0.05,
         rpc_timeout_s: float = 10.0,
         retry: Optional[RetryPolicy] = None,
+        reconnect_timeout_s: float = 30.0,
     ) -> None:
         self.address = address
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
@@ -667,6 +1011,17 @@ class SweepWorker:
         self.retry = retry if retry is not None else RetryPolicy(
             max_attempts=8, backoff_base_s=0.05, backoff_factor=2.0,
             backoff_max_s=2.0, jitter=0.5, seed=hash(self.worker_id) & 0xffff)
+        #: How long an attached worker keeps probing an unreachable
+        #: coordinator before giving up on the sweep.
+        self.reconnect_timeout_s = reconnect_timeout_s
+        #: Jittered probe schedule during an outage; the seed derives
+        #: from the worker id so a restarted coordinator's surviving
+        #: fleet staggers its reconnects instead of thundering back in
+        #: lockstep.
+        self.reconnect_retry = RetryPolicy(
+            max_attempts=1 << 30, backoff_base_s=0.1, backoff_factor=1.5,
+            backoff_max_s=1.0, jitter=0.5,
+            seed=hash(self.worker_id) & 0xffff)
         self.stats = WorkerStats()
         self._stop = threading.Event()
 
@@ -674,31 +1029,78 @@ class SweepWorker:
         """Ask the loop to exit after the current cell (detaches)."""
         self._stop.set()
 
-    def _rpc(self, message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """RPC with connection retries; None when the coordinator is gone."""
+    def _rpc(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """RPC with connection retries.
+
+        Transient blips are absorbed by the retry schedule; a
+        coordinator unreachable past the whole budget raises
+        :class:`CoordinatorUnreachableError` so callers can tell "the
+        host is down right now" from any protocol-level reply -- the
+        two used to share a ``None`` return, which made a worker
+        silently exit a live sweep on a long blip.
+        """
         attempts = 0
         while True:
             try:
                 return rpc(self.address, message,
                            timeout_s=self.rpc_timeout_s)
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
                 attempts += 1
                 if not self.retry.allows(attempts):
-                    return None
+                    raise CoordinatorUnreachableError(
+                        f"coordinator {self.address[0]}:{self.address[1]} "
+                        f"unreachable after {attempts} attempts "
+                        f"({type(exc).__name__}: {exc})") from exc
                 self.stats.reconnects += 1
                 self.retry.sleep(attempts, token=message.get("op", ""))
 
+    def _ride_out_outage(self) -> bool:
+        """Probe an unreachable coordinator until it answers an attach.
+
+        Returns True once re-attached (the caller resumes where it
+        was), False when ``reconnect_timeout_s`` elapses or the worker
+        was asked to stop -- only then is the sweep abandoned.
+        """
+        started = time.monotonic()
+        attempt = 0
+        while time.monotonic() - started < self.reconnect_timeout_s:
+            if self._stop.is_set():
+                return False
+            attempt += 1
+            # Cap the exponent so the schedule saturates at its
+            # ceiling instead of overflowing on a long outage.
+            self.reconnect_retry.sleep(min(attempt, 64),
+                                       token="reconnect")
+            try:
+                rpc(self.address,
+                    {"op": "attach", "worker": self.worker_id},
+                    timeout_s=self.rpc_timeout_s)
+            except (ConnectionError, OSError):
+                continue
+            self.stats.outages_survived += 1
+            self.stats.reattaches += 1
+            return True
+        return False
+
     def run(self, max_cells: Optional[int] = None) -> WorkerStats:
         """Work until the coordinator reports the sweep done."""
-        if self._rpc({"op": "attach", "worker": self.worker_id}) is None:
+        try:
+            self._rpc({"op": "attach", "worker": self.worker_id})
+        except CoordinatorUnreachableError:
+            # Never managed to attach at all: nothing to ride out.
             return self.stats
         try:
             while not self._stop.is_set():
                 if max_cells is not None and self.stats.cells >= max_cells:
                     break
-                reply = self._rpc({"op": "request",
-                                   "worker": self.worker_id})
-                if reply is None or reply.get("op") == "done":
+                try:
+                    reply = self._rpc({"op": "request",
+                                       "worker": self.worker_id})
+                except CoordinatorUnreachableError:
+                    if not self._ride_out_outage():
+                        break
+                    continue
+                if reply.get("op") == "done":
                     break
                 if reply.get("op") == "idle":
                     time.sleep(float(reply.get("wait_s", self.poll_s)))
@@ -707,7 +1109,10 @@ class SweepWorker:
                     break
                 self._execute_grant(reply)
         finally:
-            self._rpc({"op": "detach", "worker": self.worker_id})
+            try:
+                self._rpc({"op": "detach", "worker": self.worker_id})
+            except CoordinatorUnreachableError:
+                pass
         return self.stats
 
     def _execute_grant(self, grant: Dict[str, Any]) -> None:
@@ -730,14 +1135,30 @@ class SweepWorker:
             renewer.stop()
         if isinstance(item[1], CellFailure):
             self.stats.failures_reported += 1
-        reply = self._rpc({
-            "op": "result",
-            "lease": lease_id,
-            "worker": self.worker_id,
-            "payload": pickle.dumps(item, protocol=4),
-        })
+        # Deliver the result across outages: a coordinator that died
+        # while this cell computed is restarting from its journal, and
+        # this exact payload is what spares it the recomputation.  The
+        # restarted coordinator commits by cell index, so an unknown
+        # lease id is fine -- first commit wins, duplicates are
+        # discarded, exactly as within one run.
+        redelivery = False
+        while True:
+            try:
+                reply = self._rpc({
+                    "op": "result",
+                    "lease": lease_id,
+                    "worker": self.worker_id,
+                    "payload": pickle.dumps(item, protocol=4),
+                })
+                break
+            except CoordinatorUnreachableError:
+                if not self._ride_out_outage():
+                    return  # result undeliverable; the lease expires
+                redelivery = True
+        if redelivery:
+            self.stats.results_redelivered += 1
         self.stats.cells += 1
-        if reply is not None and not reply.get("committed", False):
+        if not reply.get("committed", False):
             self.stats.results_discarded += 1
 
 
@@ -770,6 +1191,9 @@ class DistributedExecutor(SweepExecutor):
         cells whenever no live workers exist past the grace period --
         an empty or fully-dead cluster degrades to exactly the serial
         path instead of hanging.
+    max_connections / read_deadline_s:
+        Coordinator admission cap and per-connection read deadline
+        (see :class:`FrameServer`).
     max_wall_s:
         Optional hard ceiling on one sweep; on expiry the remaining
         cells fail as ``DistributedTimeoutError`` CellFailures
@@ -788,6 +1212,8 @@ class DistributedExecutor(SweepExecutor):
         workers_grace_s: float = 2.0,
         local_fallback: bool = True,
         poll_s: float = 0.02,
+        max_connections: int = 64,
+        read_deadline_s: float = 10.0,
         max_wall_s: Optional[float] = None,
     ) -> None:
         super().__init__()
@@ -799,6 +1225,8 @@ class DistributedExecutor(SweepExecutor):
         self.workers_grace_s = workers_grace_s
         self.local_fallback = local_fallback
         self.poll_s = poll_s
+        self.max_connections = max_connections
+        self.read_deadline_s = read_deadline_s
         self.max_wall_s = max_wall_s
         self.coordinator: Optional[SweepCoordinator] = None
         self.stats: DistStats = DistStats()
@@ -826,6 +1254,8 @@ class DistributedExecutor(SweepExecutor):
             cells, ctx, host=self.host, port=self.port,
             lease_timeout_s=self.lease_timeout_s,
             steal_after_s=self.steal_after_s,
+            max_connections=self.max_connections,
+            read_deadline_s=self.read_deadline_s,
         )
         if self._pending_duplicate_leases:
             coordinator.inject_duplicate_leases(
@@ -867,6 +1297,7 @@ class DistributedExecutor(SweepExecutor):
                     if blob is not None:
                         self._blobs.append(blob)
             self._done = len(items)
+            coordinator._sync_frame_stats()
             self.stats = coordinator.stats
             self._export_counters()
             return items
@@ -1002,14 +1433,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     worker.add_argument("--max-cells", type=int, default=None,
                         help="exit after this many cells (default: run "
                              "until the sweep completes)")
+    worker.add_argument("--reconnect-timeout", type=float, default=30.0,
+                        help="seconds to keep retrying an unreachable "
+                             "coordinator before giving up (default: 30)")
     status = sub.add_parser("status", help="print a coordinator snapshot")
     status.add_argument("--connect", required=True, metavar="HOST:PORT")
     args = parser.parse_args(argv)
 
     address = _parse_address(args.connect)
     if args.command == "worker":
-        stats = SweepWorker(address, worker_id=args.id).run(
-            max_cells=args.max_cells)
+        stats = SweepWorker(
+            address, worker_id=args.id,
+            reconnect_timeout_s=args.reconnect_timeout,
+        ).run(max_cells=args.max_cells)
         print(f"worker done: {stats.cells} cells "
               f"({stats.failures_reported} failures, "
               f"{stats.results_discarded} discarded duplicates, "

@@ -327,6 +327,15 @@ class ExecutionContext:
     #: The sweep's stats object; backends add their retry/backoff
     #: accounting to it.
     stats: Any = None
+    #: Durable-append hook into the run journal (``RunJournal.append``);
+    #: backends that persist their own dispatch state (the distributed
+    #: coordinator's lease grants) write through this.  None for
+    #: un-journalled sweeps.
+    journal_append: Optional[Callable[[str, Dict[str, Any]], int]] = None
+    #: index -> count of journalled-but-uncommitted lease grants from a
+    #: previous coordinator incarnation (crash recovery: these charge
+    #: the cell's failure budget before re-dispatch).
+    replayed_grants: Dict[int, int] = field(default_factory=dict)
 
     def finalise(self, index: int, outcome: CellOutcome) -> None:
         if self.on_final is not None:

@@ -673,14 +673,23 @@ class ScenarioRunner:
         head = records[0]["data"]
         spec: SweepSpec = pickle.loads(decode_blob(head["spec"]))
         committed: Dict[int, CellResult] = {}
+        grants: Dict[int, int] = {}
         for record in records[1:]:
-            if record["type"] != "cell_commit":
-                continue
             data = record["data"]
-            committed[data["index"]] = pickle.loads(decode_blob(data["result"]))
+            if record["type"] == "cell_commit":
+                committed[data["index"]] = pickle.loads(
+                    decode_blob(data["result"]))
+            elif record["type"] == "lease_grant" \
+                    and not data.get("duplicate", False):
+                grants[data["index"]] = grants.get(data["index"], 0) + 1
+        # A grant that later committed consumed its attempt normally;
+        # only journalled-but-uncommitted grants are orphans of the
+        # dead coordinator and must charge the cell's failure budget.
+        replayed = {index: count for index, count in grants.items()
+                    if index not in committed}
         with RunJournal(path) as live:
             return self._run(spec, journal=live, committed=committed,
-                             salt=head["salt"])
+                             salt=head["salt"], replayed_grants=replayed)
 
     def run_or_resume(self, spec: SweepSpec) -> SweepResult:
         """Run ``spec``, or resume the runner's journal if it has records.
@@ -706,7 +715,8 @@ class ScenarioRunner:
     # ------------------------------------------------------------------
     def _run(self, spec: SweepSpec, journal: Optional[RunJournal],
              committed: Dict[int, CellResult],
-             salt: Optional[str]) -> SweepResult:
+             salt: Optional[str],
+             replayed_grants: Optional[Dict[int, int]] = None) -> SweepResult:
         run_started = time.perf_counter()
         stats = SimStats(workers=self.workers)
         stats.timeout_mechanism = choose_timeout_mechanism(
@@ -830,6 +840,9 @@ class ScenarioRunner:
                         obs_enabled=observing,
                         on_final=_finalise,
                         stats=stats,
+                        journal_append=(journal.append
+                                        if journal is not None else None),
+                        replayed_grants=dict(replayed_grants or {}),
                     )
                     executor.attach(ctx)
                     try:

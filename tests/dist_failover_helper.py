@@ -1,0 +1,116 @@
+"""Child-process entry point for the coordinator SIGKILL-failover tests.
+
+The parent test (or ``scripts/dist_chaos_smoke.py --kill-coordinator``)
+launches this module in a subprocess.  The child runs a journalled
+*distributed* sweep -- coordinator in-process, worker subprocesses
+attached over TCP -- via ``run_or_resume``, so the very same command
+line works for both incarnations:
+
+1. the first child starts the sweep and spawns workers; the parent
+   waits until the journal shows committed cells *and* in-flight lease
+   grants, then SIGKILLs the child (the coordinator) while the workers
+   live on;
+2. the second child resumes from the journal on the same port with
+   ``spawn_workers=0``: committed cells replay without recomputation,
+   orphaned grants are reclaimed through the retry policy, and the
+   surviving workers -- still probing the address -- re-attach and
+   deliver the results they computed across the outage.
+
+The child publishes its spawned workers' PIDs to ``worker_pids.json``
+in the run directory (the parent needs them to verify survival and to
+clean up), and on completion writes ``result.pkl`` (per-cell pickle
+bytes, the byte-identity artifact) plus ``stats.json``.
+
+The policy classes live in :mod:`repro.testing` -- importable under
+the same canonical name from every process -- so the spec pickled into
+the journal's ``sweep_start`` record unpickles cleanly in whichever
+incarnation reads it.
+"""
+
+import json
+import pickle
+import threading
+import time
+from pathlib import Path
+
+from repro.sim.distributed import DistributedExecutor
+from repro.sim.retry import RetryPolicy
+from repro.sim.sweep import ScenarioRunner, SweepSpec
+from repro.testing import SlowDualPolicy
+from repro.workload.generators import VideoWorkload
+from repro.workload.traces import record_trace
+
+
+def build_spec(delay_s: float = 0.4,
+               mahs=(30, 40, 50, 60, 70, 80)) -> SweepSpec:
+    """The sweep grid every incarnation (and the serial reference) uses.
+
+    ``delay_s`` burns wall time only (physics untouched), keeping
+    cells in flight long enough for the SIGKILL to land mid-sweep.
+    """
+    trace = record_trace(VideoWorkload(seed=5), 120.0)
+    policies = {
+        f"Dual{mah}": SlowDualPolicy(capacity_mah=float(mah),
+                                     delay_s=delay_s)
+        for mah in mahs
+    }
+    return SweepSpec(policies=policies, traces={"Video": trace},
+                     max_duration_s=900.0)
+
+
+def _publish_worker_pids(executor: DistributedExecutor,
+                         path: Path, expected: int) -> None:
+    """Write the spawned workers' PIDs as soon as they all exist."""
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        pids = executor.worker_pids()
+        if len(pids) >= expected:
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(sorted(pids)))
+            tmp.replace(path)
+            return
+        time.sleep(0.05)
+
+
+def main(run_dir: str, port: int, spawn_workers: int,
+         delay_s: float = 0.4) -> None:
+    run = Path(run_dir)
+    run.mkdir(parents=True, exist_ok=True)
+    spec = build_spec(delay_s=delay_s)
+    executor = DistributedExecutor(
+        host="127.0.0.1", port=port,
+        lease_timeout_s=2.0,
+        spawn_workers=spawn_workers,
+        workers_grace_s=8.0,
+    )
+    if spawn_workers:
+        threading.Thread(
+            target=_publish_worker_pids,
+            args=(executor, run / "worker_pids.json", spawn_workers),
+            daemon=True).start()
+    runner = ScenarioRunner(
+        executor=executor,
+        journal=run / "run.journal",
+        salt="failover-drill",
+        retry=RetryPolicy(max_attempts=4, backoff_base_s=0.05,
+                          jitter=0.5, seed=1),
+    )
+    result = runner.run_or_resume(spec)
+    (run / "result.pkl").write_bytes(pickle.dumps(
+        [pickle.dumps(r) for r in result.results], protocol=4))
+    stats = dict(result.stats.as_dict())
+    stats.update({f"dist_{k}": v
+                  for k, v in executor.stats.as_dict().items()})
+    (run / "stats.json").write_text(json.dumps(stats, sort_keys=True))
+
+
+if __name__ == "__main__":
+    import sys
+
+    # Re-import under the canonical module name so pickled objects
+    # reference ``dist_failover_helper``, not ``__main__``.
+    import dist_failover_helper
+
+    dist_failover_helper.main(
+        sys.argv[1], int(sys.argv[2]), int(sys.argv[3]),
+        float(sys.argv[4]) if len(sys.argv) > 4 else 0.4)

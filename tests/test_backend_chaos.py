@@ -1,20 +1,31 @@
 """The flagship robustness proof: a distributed, journalled, cache-
-backed sweep survives SIGKILLed workers, a partitioned cache server
-and duplicate-delivered leases with a byte-identical result, zero
-lost cells and zero double-committed journal records."""
+backed sweep survives SIGKILLed workers, a partitioned cache server,
+duplicate-delivered leases -- and now a SIGKILLed *coordinator* --
+with a byte-identical result, zero lost cells and zero
+double-committed journal records."""
 
+import json
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.sim.cache_server import CacheServer, NetworkSweepCache
 from repro.sim.chaos import (BackendChaos, journal_commit_counts,
-                             run_backend_chaos)
+                             journal_lease_grants, run_backend_chaos)
 from repro.sim.distributed import DistributedExecutor
 from repro.sim.sweep import ScenarioRunner, SweepSpec
 from repro.testing import SlowDualPolicy
 from repro.workload.generators import VideoWorkload
 from repro.workload.traces import record_trace
+
+import dist_failover_helper
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +107,160 @@ def test_duplicate_leases_alone_never_double_commit(trace, tmp_path):
     counts = journal_commit_counts(journal)
     assert set(counts.values()) == {1}
     assert executor.stats.duplicate_results >= 1  # a duplicate really ran
+
+
+# ----------------------------------------------------------------------
+# Coordinator SIGKILL + restart (the PR 9 tentpole proof)
+# ----------------------------------------------------------------------
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+_TESTS = str(Path(__file__).resolve().parent)
+
+
+def _failover_env() -> dict:
+    env = dict(os.environ)
+    extra = os.pathsep.join([_SRC, _TESTS])
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{extra}{os.pathsep}{current}" if current else extra
+    # The drill runs fully authenticated: the coordinator (both
+    # incarnations) and every worker hold the shared secret.
+    env["CAPMAN_DIST_SECRET"] = "failover-drill-secret"
+    return env
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_incarnation(run_dir: Path, port: int, spawn_workers: int,
+                       env: dict, tag: str) -> subprocess.Popen:
+    code = ("import sys, dist_failover_helper; "
+            "dist_failover_helper.main(sys.argv[1], int(sys.argv[2]), "
+            "int(sys.argv[3]))")
+    run_dir.mkdir(parents=True, exist_ok=True)
+    log = open(run_dir / f"{tag}.log", "wb")
+    try:
+        return subprocess.Popen(
+            [sys.executable, "-c", code, str(run_dir), str(port),
+             str(spawn_workers)],
+            env=env, stdout=log, stderr=subprocess.STDOUT)
+    finally:
+        log.close()
+
+
+def _counts(journal: Path):
+    try:
+        return journal_commit_counts(journal)
+    except Exception:
+        return {}
+
+
+def _grants(journal: Path):
+    try:
+        return journal_lease_grants(journal)
+    except Exception:
+        return {}
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+        return True
+    except (ProcessLookupError, PermissionError):
+        return False
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"), reason="POSIX only")
+def test_coordinator_sigkill_restart_is_exactly_once(tmp_path):
+    """SIGKILL the coordinator (runner process) mid-sweep while its
+    workers live on; restart it from the journal on the same port.
+    Committed cells must replay with zero recomputation, orphaned
+    leases must be reclaimed, the surviving fleet must re-attach, and
+    the merged result must be byte-identical to a serial run."""
+    spec = dist_failover_helper.build_spec()
+    total = len(spec)
+    serial = ScenarioRunner(workers=1).run(spec)
+    run_dir = tmp_path / "failover"
+    journal = run_dir / "run.journal"
+    pids_file = run_dir / "worker_pids.json"
+    port = _free_port()
+    env = _failover_env()
+    worker_pids = []
+    first = second = None
+    try:
+        first = _spawn_incarnation(run_dir, port, spawn_workers=2,
+                                   env=env, tag="first")
+        # Wait for the kill window: some cells durably committed, some
+        # dispatch state in flight (journalled grants without commits),
+        # and the worker fleet up and published.
+        deadline = time.monotonic() + 180.0
+        while time.monotonic() < deadline:
+            assert first.poll() is None, \
+                "first incarnation finished before the kill window"
+            commits = _counts(journal)
+            grants = _grants(journal)
+            in_flight = [i for i in grants if i not in commits]
+            if (pids_file.exists() and 2 <= len(commits) < total
+                    and in_flight):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("kill window never opened")
+        worker_pids = json.loads(pids_file.read_text())
+        assert len(worker_pids) == 2
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=30.0)
+
+        # The authoritative pre-restart journal state (nothing can
+        # append to it now: the coordinator is dead).
+        commits_at_kill = _counts(journal)
+        grants_at_kill = _grants(journal)
+        orphaned = {index: count for index, count in grants_at_kill.items()
+                    if index not in commits_at_kill}
+        assert 2 <= len(commits_at_kill) < total
+        assert orphaned, "no in-flight dispatch state survived to recover"
+        # The workers outlived their coordinator.
+        surviving = [pid for pid in worker_pids if _alive(pid)]
+        assert surviving, "no worker survived the coordinator SIGKILL"
+
+        second = _spawn_incarnation(run_dir, port, spawn_workers=0,
+                                    env=env, tag="second")
+        assert second.wait(timeout=180.0) == 0
+
+        # Exactly-once, end to end: every cell committed exactly once
+        # across both incarnations -- zero lost, zero doubled.
+        counts = journal_commit_counts(journal)
+        assert sorted(counts) == [cell.index for cell in spec.expand()]
+        assert set(counts.values()) == {1}
+        # Zero recomputation: every pre-kill commit was replayed from
+        # the journal, and only the remainder was executed.
+        stats = json.loads((run_dir / "stats.json").read_text())
+        assert stats["cells_resumed"] == len(commits_at_kill)
+        assert stats["cells_computed"] == total - len(commits_at_kill)
+        assert stats["cells_failed"] == 0
+        # The orphaned leases were recovered through the retry policy...
+        assert stats["dist_recovered_leases"] == sum(orphaned.values())
+        # ...and the surviving fleet re-attached to the restart.
+        assert stats["dist_worker_attaches"] >= len(surviving)
+        assert stats["dist_remote_cells"] >= 1
+        # Byte-identity across the crash: the failover run's per-cell
+        # pickles equal the uninterrupted serial run's.
+        final_bytes = pickle.loads((run_dir / "result.pkl").read_bytes())
+        assert final_bytes == _cell_bytes(serial)
+    finally:
+        for proc in (first, second):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        for pid in worker_pids:
+            if _alive(pid):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
 
 
 def test_all_workers_dead_degrades_to_local(trace, tmp_path):

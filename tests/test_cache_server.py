@@ -103,6 +103,67 @@ class TestNetworkCache:
         assert dead.stats.partitions_detected >= 1
 
 
+class TestCacheBreaker:
+    def test_threshold_tolerates_isolated_failures(self, server, tmp_path):
+        cache = _client(server, tmp_path, failure_threshold=2)
+        cache.put("k", "v")
+        server.inject_torn_replies(1)
+        assert cache.get("k") == "v"  # one failure: local fallback...
+        assert not cache.partitioned  # ...but no trip yet
+        assert cache.stats.partitions_detected == 0
+        assert cache.get("k") == "v"  # server is fine: streak reset
+        assert cache.stats.remote_hits == 1
+        server.inject_torn_replies(2)
+        assert cache.get("k") == "v"
+        assert cache.get("k") == "v"
+        assert cache.partitioned  # two consecutive failures trip it
+        assert cache.stats.partitions_detected == 1
+
+    def test_open_circuit_short_circuits_instead_of_timing_out(
+            self, tmp_path):
+        dead = NetworkSweepCache(("127.0.0.1", 1), tmp_path / "f",
+                                 rpc_timeout_s=0.2, probe_interval_s=60.0,
+                                 retry=RetryPolicy(max_attempts=1))
+        dead.put("k", "v")  # trips the breaker
+        assert dead.partitioned
+        started = time.time()
+        for i in range(20):
+            dead.put(f"k{i}", i)
+            assert dead.get(f"k{i}") == i
+        # 40 ops against a dead server, all served locally without a
+        # single connection attempt: far faster than even one timeout.
+        assert time.time() - started < dead.rpc_timeout_s
+        assert dead.stats.breaker_short_circuits >= 40
+        assert dead.stats.partitions_detected == 1  # still one outage
+
+    def test_half_open_probe_heals_and_reconciles(self, server, tmp_path):
+        cache = _client(server, tmp_path)
+        server.partition()
+        cache.put("k", "during-outage")
+        assert cache.partitioned
+        server.heal()
+        time.sleep(cache.probe_interval_s * 1.5)
+        # The next op is admitted as the half-open probe, which pings,
+        # replays the buffered put, and closes the circuit -- then the
+        # op itself runs remotely.
+        assert cache.get("k") == "during-outage"
+        assert not cache.partitioned
+        assert cache.stats.heals == 1
+        assert cache.stats.reconciled_puts == 1
+        assert cache.breaker.stats.probes >= 1
+
+    def test_failed_probe_rearms_the_window(self, tmp_path):
+        dead = NetworkSweepCache(("127.0.0.1", 1), tmp_path / "f",
+                                 rpc_timeout_s=0.2, probe_interval_s=0.1,
+                                 retry=RetryPolicy(max_attempts=1))
+        dead.put("k", "v")
+        time.sleep(0.15)
+        assert dead.get("k") == "v"  # admitted as a probe; server dead
+        assert dead.partitioned  # probe failed: open again
+        assert dead.breaker.stats.probes >= 1
+        assert dead.stats.heals == 0
+
+
 # ----------------------------------------------------------------------
 # Multi-process contention (satellite: FileLock / SweepCache)
 # ----------------------------------------------------------------------

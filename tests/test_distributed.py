@@ -9,9 +9,10 @@ import time
 import pytest
 
 from repro.capman.baselines import DualPolicy
-from repro.sim.distributed import (DistributedExecutor, ProtocolError,
-                                   SweepCoordinator, SweepWorker, recv_msg,
-                                   rpc, send_msg)
+from repro.sim.distributed import (CoordinatorUnreachableError,
+                                   DistributedExecutor, FrameServer,
+                                   ProtocolError, SweepCoordinator,
+                                   SweepWorker, recv_msg, rpc, send_msg)
 from repro.sim.executors import CellFailure, ExecutionContext
 from repro.sim.retry import RetryPolicy
 from repro.sim.sweep import ScenarioRunner, SweepSpec
@@ -230,6 +231,146 @@ class TestCoordinator:
             assert len(committed) == 1
         finally:
             coordinator.stop()
+
+
+class TestAuth:
+    def test_authenticated_fleet_rejects_outsiders(self, trace, monkeypatch):
+        monkeypatch.setenv("CAPMAN_DIST_SECRET", "fleet-secret")
+        coordinator, cells, _ = _coordinator(trace, mahs=(30,))
+        try:
+            address = coordinator.address
+            # A peer holding the secret works normally.
+            assert rpc(address, {"op": "attach", "worker": "w1"})["op"] == "ok"
+            # A peer without it gets no reply -- the connection is
+            # closed before the payload is ever unpickled.
+            with pytest.raises(ConnectionError):
+                rpc(address, {"op": "attach", "worker": "intruder"},
+                    timeout_s=2.0, secret=b"")
+            # A peer with a *different* secret fares no better.
+            with pytest.raises(ConnectionError):
+                rpc(address, {"op": "attach", "worker": "intruder"},
+                    timeout_s=2.0, secret=b"wrong")
+            # And neither stalls dispatch for the legitimate fleet.
+            assert rpc(address, {"op": "request", "worker": "w1"})["op"] \
+                == "grant"
+            assert coordinator.frame_stats.auth_failures >= 1
+        finally:
+            coordinator.stop()
+
+    def test_garbage_frames_do_not_stall_dispatch(self, trace, monkeypatch):
+        monkeypatch.setenv("CAPMAN_DIST_SECRET", "fleet-secret")
+        coordinator, cells, _ = _coordinator(trace, mahs=(30,))
+        try:
+            address = coordinator.address
+            with socket.create_connection(address, timeout=2.0) as sock:
+                sock.sendall(b"GET / HTTP/1.1\r\n\r\n")  # wrong protocol
+                # Closed without a reply: either a clean EOF or a
+                # reset, never protocol bytes.  (The server may have
+                # reset the connection already, so even shutdown can
+                # fail with ENOTCONN -- that counts as closed too.)
+                try:
+                    sock.shutdown(socket.SHUT_WR)
+                    assert sock.recv(1) == b""
+                except OSError:
+                    pass
+            assert rpc(address, {"op": "attach", "worker": "w1"})["op"] \
+                == "ok"
+            assert coordinator.frame_stats.protocol_errors >= 1
+        finally:
+            coordinator.stop()
+
+
+class TestAdmissionControl:
+    def test_excess_connections_are_shed_not_queued(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def handler(message):
+            entered.set()
+            release.wait(10.0)
+            return {"op": "ok"}
+
+        server = FrameServer(handler, max_connections=1,
+                             read_deadline_s=15.0, name="shed-test")
+        host, port = server.start()
+        blocker = None
+        try:
+            blocker = socket.create_connection((host, port), timeout=15.0)
+            send_msg(blocker, {"op": "hold"}, secret=b"")
+            assert entered.wait(5.0)  # the single slot is now busy
+            extra = socket.create_connection((host, port), timeout=5.0)
+            try:
+                with pytest.raises(ConnectionError):
+                    recv_msg(extra, secret=b"", deadline_s=5.0)
+            finally:
+                extra.close()
+            assert server.stats.connections_shed >= 1
+            # The occupant was never disturbed: release it and read
+            # its reply to prove shedding is per-excess-peer only.
+            release.set()
+            assert recv_msg(blocker, secret=b"",
+                            deadline_s=5.0)["op"] == "ok"
+        finally:
+            release.set()
+            if blocker is not None:
+                blocker.close()
+            server.stop()
+
+
+class TestFailover:
+    def test_rpc_raises_unreachable_instead_of_none(self):
+        # Satellite: "coordinator gone" used to be indistinguishable
+        # from a transient error (both were None).  Now a blown retry
+        # budget is a typed error the run loop can ride out.
+        worker = SweepWorker(("127.0.0.1", 1), worker_id="w",
+                             rpc_timeout_s=0.2,
+                             retry=RetryPolicy(max_attempts=2,
+                                               backoff_base_s=0.01))
+        with pytest.raises(CoordinatorUnreachableError):
+            worker._rpc({"op": "request", "worker": "w"})
+
+    def test_never_attached_worker_exits_cleanly(self):
+        worker = SweepWorker(("127.0.0.1", 1), worker_id="w",
+                             rpc_timeout_s=0.2,
+                             retry=RetryPolicy(max_attempts=1))
+        stats = worker.run()
+        assert stats.cells == 0
+        assert stats.outages_survived == 0
+
+    def test_worker_rides_out_coordinator_restart(self, trace):
+        coordinator, cells, _ = _coordinator(trace, mahs=(30, 40))
+        address = coordinator.address
+        worker = SweepWorker(address, worker_id="survivor",
+                             rpc_timeout_s=1.0, reconnect_timeout_s=15.0,
+                             retry=RetryPolicy(max_attempts=1))
+        worker._rpc({"op": "attach", "worker": worker.worker_id})
+        coordinator.stop()
+        with pytest.raises(CoordinatorUnreachableError):
+            worker._rpc({"op": "request", "worker": worker.worker_id})
+        # The coordinator comes back on the same port (a restart from
+        # its journal); the surviving worker must re-adopt it and
+        # finish the sweep.
+        coordinator2, cells2, committed2 = _coordinator(
+            trace, mahs=(30, 40), port=address[1])
+        try:
+            assert worker._ride_out_outage()
+            assert worker.stats.reattaches == 1
+            assert worker.stats.outages_survived == 1
+            stats = worker.run()
+            assert stats.cells == len(cells2)
+            coordinator2.reap()
+            assert coordinator2.finished
+            assert len(committed2) == len(cells2)
+        finally:
+            coordinator2.stop()
+
+    def test_reconnect_gives_up_after_window(self):
+        worker = SweepWorker(("127.0.0.1", 1), worker_id="w",
+                             rpc_timeout_s=0.2, reconnect_timeout_s=0.3)
+        started = time.monotonic()
+        assert not worker._ride_out_outage()
+        assert time.monotonic() - started < 10.0
+        assert worker.stats.reattaches == 0
 
 
 class TestExecutor:
