@@ -3,8 +3,9 @@
 
 Compares a freshly produced ``BENCH_sim.json`` (written by
 ``benchmarks/test_sim_throughput.py``,
-``benchmarks/test_fleet_throughput.py`` and
-``benchmarks/test_dist_throughput.py``) against the committed baseline
+``benchmarks/test_fleet_throughput.py``,
+``benchmarks/test_dist_throughput.py`` and
+``benchmarks/test_service_throughput.py``) against the committed baseline
 ``benchmarks/baselines/BENCH_sim.baseline.json`` and fails -- nonzero
 exit, for CI -- on regression:
 
@@ -18,7 +19,10 @@ exit, for CI -- on regression:
   backend's section additionally pins its robustness invariants --
   ``lost_cells`` and ``double_commits`` are exact-zero in the
   baseline, so any lost or double-committed cell fails the gate as a
-  correctness regression, not a perf one.
+  correctness regression, not a perf one.  The service section does
+  the same for its HTTP job path (``failed_cells``,
+  ``double_commits``) and pins content-hash dedupe
+  (``deduped_jobs``).
 * **Throughput holds within a tolerance.**  The serial
   ``steps_per_sec`` and each fleet leg's ``device_steps_per_sec`` must
   stay above ``tolerance x baseline`` (default 0.5x, i.e. flag a 2x
@@ -91,6 +95,13 @@ FLEET_SECTIONS = {
 EXACT_DIST_FIELDS = ("cells_total", "steps_total", "workers",
                      "lost_cells", "double_commits")
 
+#: Machine-independent service fields gated by exact equality.
+#: ``failed_cells``/``double_commits`` are exact-zero correctness
+#: pins; ``deduped_jobs`` pins that an identical resubmission stayed a
+#: pure content-hash dedupe.
+EXACT_SERVICE_FIELDS = ("cells_total", "steps_total", "deduped_jobs",
+                        "failed_cells", "double_commits")
+
 
 def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
     """The gated subset of a ``BENCH_sim.json`` payload.
@@ -121,10 +132,16 @@ def extract_gated(payload: Dict[str, Any]) -> Dict[str, Any]:
             **{name: leg[name] for name in EXACT_DIST_FIELDS},
             "steps_per_sec": leg["steps_per_sec"],
         }
+    if "service" in payload:
+        leg = payload["service"]
+        gated["service"] = {
+            **{name: leg[name] for name in EXACT_SERVICE_FIELDS},
+            "steps_per_sec": leg["steps_per_sec"],
+        }
     if not gated:
-        raise KeyError("payload has no 'serial', 'fleet', 'capman_fleet' "
-                       "or 'distributed' section; run the throughput "
-                       "benchmarks first")
+        raise KeyError("payload has no 'serial', 'fleet', 'capman_fleet', "
+                       "'distributed' or 'service' section; run the "
+                       "throughput benchmarks first")
     return gated
 
 
@@ -215,6 +232,29 @@ def compare(fresh: Dict[str, Any], baseline: Dict[str, Any],
                     f"{floor:.0f} ({tolerance:g} x baseline "
                     f"{baseline['distributed']['steps_per_sec']:.0f}) "
                     f"-- lease/framing overhead grew")
+    if "service" in fresh:
+        if "service" not in baseline:
+            problems.append("fresh payload has a service section but "
+                            "the baseline does not; regenerate the "
+                            "baseline with --write-baseline")
+        else:
+            for name in EXACT_SERVICE_FIELDS:
+                got = fresh["service"][name]
+                want = baseline["service"][name]
+                if got != want:
+                    problems.append(
+                        f"service.{name}: expected exactly {want}, "
+                        f"got {got} (deterministic field -- dedupe, "
+                        f"exactly-once accounting or the benchmark's "
+                        f"work changed)")
+            floor = tolerance * baseline["service"]["steps_per_sec"]
+            if fresh["service"]["steps_per_sec"] < floor:
+                problems.append(
+                    f"throughput regression: service steps_per_sec "
+                    f"{fresh['service']['steps_per_sec']:.0f} < "
+                    f"{floor:.0f} ({tolerance:g} x baseline "
+                    f"{baseline['service']['steps_per_sec']:.0f}) "
+                    f"-- HTTP/WAL/poll overhead grew")
     return problems
 
 
@@ -280,6 +320,13 @@ def main(argv: List[str]) -> int:
             f"steps_per_sec={fresh['distributed']['steps_per_sec']:.0f} "
             f"lost={fresh['distributed']['lost_cells']} "
             f"double_commits={fresh['distributed']['double_commits']}")
+    if "service" in fresh:
+        summary.append(
+            f"service cells={fresh['service']['cells_total']} "
+            f"steps_per_sec={fresh['service']['steps_per_sec']:.0f} "
+            f"deduped={fresh['service']['deduped_jobs']} "
+            f"failed={fresh['service']['failed_cells']} "
+            f"double_commits={fresh['service']['double_commits']}")
     print(f"bench gate: OK ({'; '.join(summary)}; "
           f"tolerance {args.tolerance:g})")
     return 0

@@ -145,6 +145,20 @@ class RunJournal:
             _truncate(path, good_bytes)
         return records
 
+    @classmethod
+    def replay_typed(cls, path: Union[str, Path], rtypes: Tuple[str, ...],
+                     recover: bool = True) -> List[Dict[str, Any]]:
+        """Like :meth:`replay`, keeping only records of the given types.
+
+        Convenience for journals that multiplex record families (the
+        service's job WAL interleaves ``job_submit``/``job_done`` with
+        whatever future record types ride along): validation and tail
+        recovery still run over the whole file, the filter applies to
+        the returned view only.
+        """
+        return [record for record in cls.replay(path, recover=recover)
+                if record["type"] in rtypes]
+
     @staticmethod
     def _scan(path: Path) -> Tuple[List[Dict[str, Any]], Optional[int], int]:
         """(valid records, truncate-to offset or None, dropped lines)."""

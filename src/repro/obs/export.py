@@ -31,7 +31,31 @@ __all__ = [
     "InMemoryExporter",
     "JsonlExporter",
     "format_obs_table",
+    "registry_snapshot",
 ]
+
+
+def registry_snapshot(registry: Any,
+                      spans: Optional[Dict[str, Dict[str, float]]] = None,
+                      ) -> Dict[str, Any]:
+    """A JSON-serialisable dump of a metrics registry.
+
+    The shape served by scrape endpoints (``GET /metrics`` on the
+    sweep service): counters and gauges as flat name->value maps,
+    histograms with their bucket arrays, and -- optionally -- an
+    aggregated span window (``Tracer.window()`` output).  Duck-typed
+    on the three ``*_values``/``histogram_dicts`` accessors so it
+    works for any registry-compatible object without importing
+    :mod:`repro.obs.registry` here.
+    """
+    snapshot: Dict[str, Any] = {
+        "counters": dict(registry.counter_values()),
+        "gauges": dict(registry.gauge_values()),
+        "histograms": dict(registry.histogram_dicts()),
+    }
+    if spans is not None:
+        snapshot["spans"] = {name: dict(agg) for name, agg in spans.items()}
+    return snapshot
 
 
 class Exporter:

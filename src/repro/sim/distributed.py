@@ -720,6 +720,7 @@ class SweepCoordinator:
         self._journal_locked("lease_grant", {
             "index": index, "lease": lease.lease_id, "worker": worker,
             "duplicate": steal})
+        self._ctx.started(index)
         if self._chaos_duplicate_leases > 0 and not steal:
             # Chaos: leave the cell in the queue too, so another
             # worker is handed the same cell concurrently.
@@ -872,6 +873,7 @@ class SweepCoordinator:
             self._journal_locked("lease_grant", {
                 "index": index, "lease": lease.lease_id,
                 "worker": "__local__", "duplicate": False})
+            self._ctx.started(index)
             return lease.lease_id, self._cells[index]
 
     def commit_local(self, lease_id: str,

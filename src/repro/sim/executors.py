@@ -336,10 +336,19 @@ class ExecutionContext:
     #: previous coordinator incarnation (crash recovery: these charge
     #: the cell's failure budget before re-dispatch).
     replayed_grants: Dict[int, int] = field(default_factory=dict)
+    #: Dispatch callback: called when a cell is handed to a worker
+    #: (pool submit, lease grant, serial pickup) so an external poller
+    #: can distinguish queued from running cells.  Purely advisory --
+    #: it must never raise and never affects results.
+    on_start: Optional[Callable[[int], None]] = None
 
     def finalise(self, index: int, outcome: CellOutcome) -> None:
         if self.on_final is not None:
             self.on_final(index, outcome)
+
+    def started(self, index: int) -> None:
+        if self.on_start is not None:
+            self.on_start(index)
 
     def count_retry(self, wait_s: float) -> None:
         """Account one retry (and its backoff wait) on stats + obs."""
@@ -411,6 +420,7 @@ class SweepExecutor:
     def submit(self, cell: "ScenarioCell") -> CellItem:
         """Run one cell to a final outcome (result or CellFailure)."""
         ctx = self.ctx
+        ctx.started(cell.index)
         item = timed_cell(cell, ctx.cell_timeout_s,
                           ctx.ckpts.get(cell.index),
                           ctx.checkpoint_every_steps, ctx.stall_timeout_s)
@@ -517,6 +527,8 @@ class LocalProcessExecutor(SweepExecutor):
                         for cell in group
                     ]
                     self._in_flight = len(futures)
+                    for _, cell in futures:
+                        ctx.started(cell.index)
                     for future, cell in futures:
                         try:
                             index, outcome, elapsed, steps = future.result()

@@ -41,6 +41,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,6 +65,7 @@ __all__ = [
     "ScenarioCell",
     "SweepSpec",
     "SimStats",
+    "SweepProgress",
     "SweepResult",
     "SweepCache",
     "ScenarioRunner",
@@ -397,6 +399,55 @@ class SimStats:
         return d
 
 
+#: Per-cell progress states an external poller can observe.
+#: "done"/"failed" are the executed outcomes; "cached" and "resumed"
+#: are cells satisfied without execution (cache hit / journal replay).
+CELL_STATES = ("queued", "running", "done", "failed", "cached", "resumed")
+
+#: The subset of states that count as successfully finished.
+_TERMINAL_OK = ("done", "cached", "resumed")
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """A point-in-time snapshot of a sweep's per-cell execution state.
+
+    Built by :meth:`ScenarioRunner.progress` under the runner's
+    progress lock, so an external poller (a status endpoint, another
+    thread) can enumerate cell status mid-run without touching the
+    executor.  ``done`` counts every successfully finished cell
+    regardless of how it finished -- computed, cache hit or journal
+    resume -- while the per-cell mapping keeps the distinction.
+    """
+
+    total: int
+    queued: int
+    running: int
+    done: int
+    failed: int
+    #: index -> state, one of :data:`CELL_STATES`.
+    cells: Dict[int, str] = field(default_factory=dict)
+    #: index -> human-readable cell label.
+    labels: Dict[int, str] = field(default_factory=dict, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Whether every cell has reached a terminal state."""
+        return self.total > 0 and self.queued == 0 and self.running == 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (cell indices become string keys)."""
+        return {
+            "total": self.total,
+            "queued": self.queued,
+            "running": self.running,
+            "done": self.done,
+            "failed": self.failed,
+            "finished": self.finished,
+            "cells": {str(i): s for i, s in sorted(self.cells.items())},
+        }
+
+
 @dataclass
 class SweepResult:
     """Ordered results of a sweep plus run statistics.
@@ -628,6 +679,42 @@ class ScenarioRunner:
         if backend not in ("scalar", "fleet"):
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
+        #: Guards the per-cell state map behind :meth:`progress`.
+        self._progress_lock = threading.Lock()
+        self._cell_states: Dict[int, str] = {}
+        self._cell_labels: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def _set_state(self, index: int, state: str) -> None:
+        with self._progress_lock:
+            # A terminal state never regresses to "running": a late
+            # dispatch notification (e.g. a re-granted lease racing its
+            # own commit) must not make a finished cell look active.
+            if (state == "running"
+                    and self._cell_states.get(index) in _TERMINAL_OK
+                    + ("failed",)):
+                return
+            self._cell_states[index] = state
+
+    def progress(self) -> SweepProgress:
+        """Thread-safe snapshot of the current sweep's cell states.
+
+        Callable from any thread while :meth:`run` /
+        :meth:`run_or_resume` executes on another; before the first run
+        (or after constructing the runner) the snapshot is empty.
+        """
+        with self._progress_lock:
+            states = dict(self._cell_states)
+            labels = dict(self._cell_labels)
+        return SweepProgress(
+            total=len(states),
+            queued=sum(1 for s in states.values() if s == "queued"),
+            running=sum(1 for s in states.values() if s == "running"),
+            done=sum(1 for s in states.values() if s in _TERMINAL_OK),
+            failed=sum(1 for s in states.values() if s == "failed"),
+            cells=states,
+            labels=labels,
+        )
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
@@ -740,6 +827,9 @@ class ScenarioRunner:
             expand_started = time.perf_counter()
             cells = spec.expand()
             stats.cells_total = len(cells)
+            with self._progress_lock:
+                self._cell_states = {cell.index: "queued" for cell in cells}
+                self._cell_labels = {cell.index: cell.label for cell in cells}
             keys: List[Optional[str]] = [None] * len(cells)
             if self.cache is not None or journal is not None:
                 if salt is None:
@@ -757,6 +847,7 @@ class ScenarioRunner:
                     # write-ahead log exists to prevent.
                     results[cell.index] = committed[cell.index]
                     stats.cells_resumed += 1
+                    self._set_state(cell.index, "resumed")
                     if observing:
                         blob = getattr(committed[cell.index], "telemetry", None)
                         if blob is not None:
@@ -767,6 +858,7 @@ class ScenarioRunner:
                     if hit is not None:
                         results[cell.index] = hit
                         stats.cache_hits += 1
+                        self._set_state(cell.index, "cached")
                         continue
                     stats.cache_misses += 1
                 pending.append(cell)
@@ -795,6 +887,9 @@ class ScenarioRunner:
                 them -- and a committed cell's sidecar checkpoint is
                 deleted: the commit record supersedes it.
                 """
+                self._set_state(index, "failed"
+                                if isinstance(outcome, CellFailure)
+                                else "done")
                 if journal is None or isinstance(outcome, CellFailure):
                     return
                 journal.append("cell_commit", {
@@ -843,6 +938,8 @@ class ScenarioRunner:
                         journal_append=(journal.append
                                         if journal is not None else None),
                         replayed_grants=dict(replayed_grants or {}),
+                        on_start=lambda index: self._set_state(
+                            index, "running"),
                     )
                     executor.attach(ctx)
                     try:
@@ -863,6 +960,11 @@ class ScenarioRunner:
                     stats.cells_computed += 1
                     if isinstance(result, CellFailure):
                         stats.cells_failed += 1
+                    # Fleet-batched cells bypass ctx.finalise; settle
+                    # their progress state here (idempotent elsewhere).
+                    self._set_state(index, "failed"
+                                    if isinstance(result, CellFailure)
+                                    else "done")
                 if self.cache is not None:
                     cache_started = time.perf_counter()
                     for index, result, _, _ in computed:

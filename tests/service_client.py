@@ -1,0 +1,84 @@
+"""Tiny stdlib HTTP client + grid builders shared by the service tests.
+
+Not a test module: imported by ``test_service*.py`` (and the smoke
+script) so every caller speaks to the service the same way -- plain
+``urllib`` requests, structured-error tolerant, with a deadline-bound
+poll helper.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+#: Outer deadline for "a small grid finishes" polls; generous for CI.
+POLL_DEADLINE_S = 120.0
+
+
+def api(base, method, path, body=None, token=None, raw=None,
+        timeout=30.0):
+    """One request; returns ``(status, parsed-JSON-or-None)``.
+
+    ``body`` is JSON-encoded; ``raw`` sends the given bytes verbatim
+    (malformed-input tests).  HTTP errors are returned, not raised.
+    """
+    data = raw
+    headers = {}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    request = urllib.request.Request(base + path, data=data,
+                                     method=method, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            payload = resp.read()
+            status = resp.status
+    except urllib.error.HTTPError as err:
+        payload = err.read()
+        status = err.code
+    try:
+        return status, json.loads(payload)
+    except ValueError:
+        return status, None
+
+
+def wait_for_job(base, job_id, token=None, deadline_s=POLL_DEADLINE_S):
+    """Poll ``GET /jobs/{id}`` until a terminal state; returns status."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        code, status = api(base, "GET", f"/jobs/{job_id}", token=token)
+        if code == 200 and status.get("state") in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} not terminal within {deadline_s}s (last: {status})")
+
+
+def small_grid(capacities=(30.0, 40.0), seed=1, duration_s=60.0):
+    """A fast all-Dual grid: one cell per capacity."""
+    return {
+        "policies": {
+            f"D{int(mah)}": {"type": "dual", "capacity_mah": float(mah)}
+            for mah in capacities
+        },
+        "traces": {"V": {"workload": "video", "seed": seed,
+                         "duration_s": duration_s}},
+        "max_duration_s": 600.0,
+    }
+
+
+def slow_grid(capacities=(30, 40, 50, 60, 70, 80), delay_s=0.4):
+    """The crash-drill grid: wall-time-burning cells, same physics."""
+    return {
+        "policies": {
+            f"Slow{mah}": {"type": "slow_dual",
+                           "capacity_mah": float(mah),
+                           "delay_s": delay_s}
+            for mah in capacities
+        },
+        "traces": {"V": {"workload": "video", "seed": 5,
+                         "duration_s": 120.0}},
+        "max_duration_s": 900.0,
+    }

@@ -3,6 +3,7 @@
 import os
 import pickle
 import signal
+import threading
 import time
 
 import pytest
@@ -313,3 +314,92 @@ class TestDailyKind:
         warm = ScenarioRunner(workers=1, cache=tmp_path).run(spec)
         assert warm.stats.cache_hits == 1
         assert pickle.dumps(warm.results[0]) == pickle.dumps(cold.results[0])
+
+
+class TestProgress:
+    """The thread-safe mid-run progress snapshot (service poller API)."""
+
+    def test_completed_run_reports_every_cell_done(self, trace):
+        runner = ScenarioRunner(workers=1)
+        assert runner.progress().total == 0  # empty before any run
+        runner.run(_spec(trace))
+        progress = runner.progress()
+        assert progress.finished
+        assert progress.total == progress.done == 2
+        assert progress.queued == progress.running == progress.failed == 0
+        assert set(progress.cells.values()) == {"done"}
+        assert set(progress.labels) == set(progress.cells)
+
+    def test_snapshot_is_pollable_from_another_thread_mid_run(self, trace):
+        from repro.testing import SlowDualPolicy
+
+        spec = SweepSpec(
+            policies={f"S{i}": SlowDualPolicy(capacity_mah=30.0 + i,
+                                              delay_s=0.5)
+                      for i in range(2)},
+            traces={"Video": trace},
+            max_duration_s=900.0,
+        )
+        runner = ScenarioRunner(workers=1)
+        box = {}
+        thread = threading.Thread(target=lambda: box.update(
+            result=runner.run(spec)))
+        thread.start()
+        try:
+            # Wait for the grid to expand, then catch it in flight:
+            # with two 0.5 s cells the window is wide.
+            deadline = time.monotonic() + 30.0
+            saw_running = False
+            while time.monotonic() < deadline:
+                progress = runner.progress()
+                if progress.total == 2 and not progress.finished:
+                    counted = (progress.queued + progress.running
+                               + progress.done + progress.failed)
+                    assert counted == progress.total
+                    saw_running = saw_running or progress.running >= 1
+                if progress.total == 2 and progress.finished:
+                    break
+                time.sleep(0.005)
+            assert saw_running, "never observed a cell in 'running'"
+        finally:
+            thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert runner.progress().finished
+        assert len(box["result"].results) == 2
+
+    def test_cache_hits_and_failures_are_distinct_states(self, trace,
+                                                         tmp_path):
+        spec = SweepSpec(
+            policies={"Dual": DualPolicy(capacity_mah=40.0),
+                      "Bad": RaisingPolicy(capacity_mah=40.0)},
+            traces={"Video": trace},
+            max_duration_s=900.0,
+        )
+        runner = ScenarioRunner(workers=1, cache=tmp_path)
+        runner.run(spec)
+        first = runner.progress()
+        assert first.done == 1 and first.failed == 1
+        assert sorted(first.cells.values()) == ["done", "failed"]
+
+        again = ScenarioRunner(workers=1, cache=tmp_path)
+        again.run(spec)
+        second = again.progress()
+        # The good cell is a cache hit; the failure was never cached.
+        assert second.cells[first_index_of(second, "cached")] == "cached"
+        assert sorted(second.cells.values()) == ["cached", "failed"]
+        assert second.done == 1 and second.failed == 1
+
+    def test_as_dict_is_json_shaped(self, trace):
+        runner = ScenarioRunner(workers=1)
+        runner.run(_spec(trace))
+        payload = runner.progress().as_dict()
+        assert payload["finished"] is True
+        assert payload["cells"] == {"0": "done", "1": "done"}
+        import json
+
+        json.dumps(payload)  # must be serialisable as-is
+
+
+def first_index_of(progress, state):
+    """The lowest cell index currently in ``state``."""
+    return min(i for i, s in progress.cells.items() if s == state)
